@@ -1,0 +1,408 @@
+// Benchmarks regenerating the paper's evaluation, one per figure/claim.
+// See DESIGN.md §3 for the experiment index; `go test -bench=. -benchmem`
+// produces the raw series recorded in EXPERIMENTS.md. Custom metrics:
+// expansions/op is the search-effort measure the paper's Figure 1 is about.
+package genroute_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/adjust"
+	"repro/internal/congest"
+	"repro/internal/detail"
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/gridrouter"
+	"repro/internal/hightower"
+	"repro/internal/layout"
+	"repro/internal/plane"
+	"repro/internal/router"
+	"repro/internal/search"
+	"repro/internal/seq"
+)
+
+// fig1 returns the Figure 1 scene.
+func fig1(tb testing.TB) (*plane.Index, geom.Point, geom.Point) {
+	tb.Helper()
+	l, s, d := gen.Fig1Layout()
+	ix, err := plane.FromLayout(l)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return ix, s, d
+}
+
+// BenchmarkFig1GridlessAStar is the paper's headline: the gridless A*
+// route on the Figure 1 field, expanding a handful of nodes.
+func BenchmarkFig1GridlessAStar(b *testing.B) {
+	ix, s, d := fig1(b)
+	r := router.New(ix, router.Options{})
+	b.ReportAllocs()
+	var exp int
+	for i := 0; i < b.N; i++ {
+		route, err := r.RoutePoints(s, d)
+		if err != nil || !route.Found {
+			b.Fatal("route failed")
+		}
+		exp = route.Stats.Expanded
+	}
+	b.ReportMetric(float64(exp), "expansions/op")
+}
+
+// BenchmarkFig1LeeMoore is the grid baseline on the same scene.
+func BenchmarkFig1LeeMoore(b *testing.B) {
+	ix, s, d := fig1(b)
+	g, err := gridrouter.FromPlane(ix, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	var exp int
+	for i := 0; i < b.N; i++ {
+		res, err := g.LeeMoore(s, d)
+		if err != nil || !res.Found {
+			b.Fatal("route failed")
+		}
+		exp = res.Stats.Expanded
+	}
+	b.ReportMetric(float64(exp), "expansions/op")
+}
+
+// BenchmarkFig1GridAStar is grid search with the heuristic — between the
+// two extremes.
+func BenchmarkFig1GridAStar(b *testing.B) {
+	ix, s, d := fig1(b)
+	g, err := gridrouter.FromPlane(ix, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	var exp int
+	for i := 0; i < b.N; i++ {
+		res, err := g.Route(s, d, search.AStar)
+		if err != nil || !res.Found {
+			b.Fatal("route failed")
+		}
+		exp = res.Stats.Expanded
+	}
+	b.ReportMetric(float64(exp), "expansions/op")
+}
+
+// BenchmarkFig2CornerRule times the ε-rule route of Figure 2.
+func BenchmarkFig2CornerRule(b *testing.B) {
+	l, s, d := gen.Fig2Layout()
+	ix, err := plane.FromLayout(l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := router.New(ix, router.Options{Cost: router.CornerCost{Ix: ix}})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		route, err := r.RoutePoints(s, d)
+		if err != nil || !route.Found {
+			b.Fatal("route failed")
+		}
+	}
+}
+
+// benchScene builds the shared random scene for the C-series benches.
+func benchScene(tb testing.TB, die geom.Coord, cells int) (*plane.Index, []geom.Point) {
+	tb.Helper()
+	l, err := gen.RandomLayout(gen.Config{
+		Seed: 42, Width: die, Height: die, Cells: cells,
+		MinCell: die / 20, MaxCell: die / 5, Nets: 1, Separation: 4,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ix, err := plane.FromLayout(l)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	// Deterministic query endpoints on the die diagonal corners and edges.
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(die, die),
+		geom.Pt(0, die), geom.Pt(die, 0),
+		geom.Pt(die/2, 0), geom.Pt(die/2, die),
+	}
+	return ix, pts
+}
+
+// BenchmarkC1FrameworkGridBFS shows the framework running the Lee–Moore
+// special case (grid successors, h = 0).
+func BenchmarkC1FrameworkGridBFS(b *testing.B) {
+	ix, pts := benchScene(b, 120, 6)
+	g, err := gridrouter.FromPlane(ix, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Route(pts[0], pts[1], search.BreadthFirst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkC2 compares gridless A* with Lee–Moore across die sizes; the
+// per-size sub-benchmarks are the series behind the C2 table.
+func BenchmarkC2(b *testing.B) {
+	for _, die := range []geom.Coord{100, 200, 400} {
+		ix, pts := benchScene(b, die, int(die/40))
+		r := router.New(ix, router.Options{})
+		b.Run(fmt.Sprintf("gridless/die%d", die), func(b *testing.B) {
+			b.ReportAllocs()
+			var exp int
+			for i := 0; i < b.N; i++ {
+				route, err := r.RoutePoints(pts[0], pts[1])
+				if err != nil || !route.Found {
+					b.Fatal("route failed")
+				}
+				exp = route.Stats.Expanded
+			}
+			b.ReportMetric(float64(exp), "expansions/op")
+		})
+		g, err := gridrouter.FromPlane(ix, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("leemoore/die%d", die), func(b *testing.B) {
+			b.ReportAllocs()
+			var exp int
+			for i := 0; i < b.N; i++ {
+				res, err := g.LeeMoore(pts[0], pts[1])
+				if err != nil || !res.Found {
+					b.Fatal("route failed")
+				}
+				exp = res.Stats.Expanded
+			}
+			b.ReportMetric(float64(exp), "expansions/op")
+		})
+	}
+}
+
+// BenchmarkC3Hightower times the line probe on its favourable case.
+func BenchmarkC3Hightower(b *testing.B) {
+	ix, pts := benchScene(b, 500, 12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		hightower.Route(ix, pts[0], pts[1], hightower.Options{})
+	}
+}
+
+// BenchmarkC3AStarSameQuery is the maze-search cost on the identical query.
+func BenchmarkC3AStarSameQuery(b *testing.B) {
+	ix, pts := benchScene(b, 500, 12)
+	r := router.New(ix, router.Options{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.RoutePoints(pts[0], pts[1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchLayout is the multi-net chip for the C4/C6 benches.
+func benchLayout(tb testing.TB) *layout.Layout {
+	tb.Helper()
+	l, err := gen.RandomLayout(gen.Config{Seed: 7, Cells: 12, Nets: 30, Separation: 10})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return l
+}
+
+// BenchmarkC4Independent routes all nets independently (sequential
+// single-worker, so the comparison with the ordered regime is like for
+// like).
+func BenchmarkC4Independent(b *testing.B) {
+	l := benchLayout(b)
+	ix, err := plane.FromLayout(l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := router.New(ix, router.Options{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.RouteLayout(l, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkC4IndependentParallel is the same workload with concurrent
+// workers — the parallelism independent routing makes possible.
+func BenchmarkC4IndependentParallel(b *testing.B) {
+	l := benchLayout(b)
+	ix, err := plane.FromLayout(l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := router.New(ix, router.Options{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.RouteLayout(l, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkC4Sequential is the classical ordered regime on the same chip.
+func BenchmarkC4Sequential(b *testing.B) {
+	l := benchLayout(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := seq.Route(l, seq.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkC5TwoPass runs the congestion flow on the funnel workload.
+func BenchmarkC5TwoPass(b *testing.B) {
+	l := funnelForBench()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := congest.TwoPass(l, 2, 300, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Before.TotalOverflow() == 0 {
+			b.Fatal("bench workload should congest")
+		}
+	}
+}
+
+// funnelForBench mirrors the C5 experiment workload.
+func funnelForBench() *layout.Layout {
+	l := &layout.Layout{
+		Name:   "funnel",
+		Bounds: geom.R(0, 0, 400, 200),
+		Cells: []layout.Cell{
+			{Name: "lower", Box: geom.R(190, 0, 210, 96)},
+			{Name: "upper", Box: geom.R(190, 104, 210, 200)},
+		},
+	}
+	for i := 0; i < 8; i++ {
+		y := geom.Coord(60 + 8*i)
+		l.Nets = append(l.Nets, layout.Net{
+			Name: fmt.Sprintf("n%d", i),
+			Terminals: []layout.Terminal{
+				{Name: "w", Pins: []layout.Pin{{Name: "p", Pos: geom.Pt(10, y), Cell: layout.NoCell}}},
+				{Name: "e", Pins: []layout.Pin{{Name: "p", Pos: geom.Pt(390, y), Cell: layout.NoCell}}},
+			},
+		})
+	}
+	return l
+}
+
+// BenchmarkC6GlobalPhase times global routing of the full-flow chip.
+func BenchmarkC6GlobalPhase(b *testing.B) {
+	l := benchLayout(b)
+	ix, err := plane.FromLayout(l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := router.New(ix, router.Options{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.RouteLayout(l, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkC6DetailPhase times the detailed stage over the same chip's
+// routes.
+func BenchmarkC6DetailPhase(b *testing.B) {
+	l := benchLayout(b)
+	ix, err := plane.FromLayout(l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := router.New(ix, router.Options{}).RouteLayout(l, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		detail.Assign(res, detail.Options{})
+	}
+}
+
+// BenchmarkA2WeightedAStar is the inflated-heuristic ablation point.
+func BenchmarkA2WeightedAStar(b *testing.B) {
+	ix, pts := benchScene(b, 300, 10)
+	r := router.New(ix, router.Options{WeightNum: 2, WeightDen: 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.RoutePoints(pts[0], pts[1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSteinerNet times multi-terminal tree construction.
+func BenchmarkSteinerNet(b *testing.B) {
+	l, err := gen.RandomLayout(gen.Config{
+		Seed: 3, Cells: 10, Nets: 5, MaxTerminals: 6, Separation: 10,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := plane.FromLayout(l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := router.New(ix, router.Options{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for ni := range l.Nets {
+			if _, err := r.RouteNet(&l.Nets[ni]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkE1PolygonChip routes a generated polygon-cell chip — the
+// orthogonal-polygon extension workload.
+func BenchmarkE1PolygonChip(b *testing.B) {
+	l, err := gen.PolyChip(11, 12, 30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := plane.FromLayout(l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := router.New(ix, router.Options{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := r.RouteLayout(l, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Failed) != 0 {
+			b.Fatalf("failures: %v", res.Failed)
+		}
+	}
+}
+
+// BenchmarkE2FeedbackLoop runs the placement-adjustment loop to
+// convergence on the funnel workload.
+func BenchmarkE2FeedbackLoop(b *testing.B) {
+	l := funnelForBench()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := adjust.Run(l, adjust.Options{Pitch: 2, Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Converged {
+			b.Fatal("should converge")
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/adjust"
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/plane"
+	"repro/internal/router"
+)
+
+// runE1 exercises the paper's orthogonal-polygon extension: routing over
+// layouts that mix rectangular, L-, U- and T-shaped cells, with pins on
+// polygon outlines (including cavity pins reachable only through an
+// opening).
+func runE1(cfg runConfig) {
+	seeds := 6
+	if cfg.quick {
+		seeds = 2
+	}
+	t := &table{header: []string{"seed", "cells", "nets", "routed", "failed",
+		"length", "expanded", "obstacle rects"}}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		l, err := gen.PolyChip(seed, 14, 40)
+		if err != nil {
+			panic(err)
+		}
+		ix, err := plane.FromLayout(l)
+		if err != nil {
+			panic(err)
+		}
+		res, err := router.New(ix, router.Options{}).RouteLayout(l, 1)
+		if err != nil {
+			panic(err)
+		}
+		r := router.New(ix, router.Options{})
+		for i := range res.Nets {
+			if res.Nets[i].Found {
+				if err := r.Validate(&res.Nets[i]); err != nil {
+					panic(err)
+				}
+			}
+		}
+		t.add(seed, len(l.Cells), len(l.Nets), len(l.Nets)-len(res.Failed),
+			len(res.Failed), res.TotalLength, res.Stats.Expanded, ix.NumCells())
+	}
+	t.print()
+	fmt.Println("  (polygon cells are indexed through their double decomposition; internal")
+	fmt.Println("   seams are unroutable while true outlines stay hug-legal)")
+}
+
+// runE2 measures the placement-adjustment feedback loop the paper leaves as
+// open research: does widening overflowed passages converge?
+func runE2(cfg runConfig) {
+	t := &table{header: []string{"workload", "iters", "converged",
+		"overflow trail", "die growth", "length growth"}}
+	run := func(name string, nNets int) {
+		l := adjustFunnel(nNets)
+		res, err := adjust.Run(l, adjust.Options{Pitch: 2, MaxIters: 12, Workers: 1})
+		if err != nil {
+			panic(err)
+		}
+		trail := ""
+		for i, it := range res.Iterations {
+			if i > 0 {
+				trail += "->"
+			}
+			trail += fmt.Sprint(it.Overflow)
+		}
+		first := res.Iterations[0]
+		last := res.Iterations[len(res.Iterations)-1]
+		dieGrowth := float64(last.DieArea) / float64(400*200)
+		lenGrowth := float64(last.TotalLength) / float64(first.TotalLength)
+		t.add(name, len(res.Iterations), res.Converged, trail,
+			fmtR(dieGrowth), fmtR(lenGrowth))
+	}
+	run("funnel 6 nets", 6)
+	run("funnel 10 nets", 10)
+	run("funnel 16 nets", 16)
+	if !cfg.quick {
+		run("funnel 24 nets", 24)
+	}
+	t.print()
+	fmt.Println("  (cut-line expansion converges on these workloads in a handful of passes;")
+	fmt.Println("   the die and wirelength grow as spacing is inserted — the trade-off the")
+	fmt.Println("   paper's introduction anticipates)")
+}
+
+// adjustFunnel is the funnel with pin rows packed to fit any net count
+// within the 200-high die.
+func adjustFunnel(nNets int) *layout.Layout {
+	l := &layout.Layout{
+		Name:   "funnel",
+		Bounds: geom.R(0, 0, 400, 200),
+		Cells: []layout.Cell{
+			{Name: "lower", Box: geom.R(190, 0, 210, 96)},
+			{Name: "upper", Box: geom.R(190, 104, 210, 200)},
+		},
+	}
+	step := geom.Coord(140 / nNets)
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < nNets; i++ {
+		y := geom.Coord(30) + step*geom.Coord(i)
+		l.Nets = append(l.Nets, layout.Net{
+			Name: fmt.Sprintf("n%d", i),
+			Terminals: []layout.Terminal{
+				{Name: "w", Pins: []layout.Pin{{Name: "p", Pos: geom.Pt(10, y), Cell: layout.NoCell}}},
+				{Name: "e", Pins: []layout.Pin{{Name: "p", Pos: geom.Pt(390, y), Cell: layout.NoCell}}},
+			},
+		})
+	}
+	if err := l.Validate(); err != nil {
+		panic(err)
+	}
+	return l
+}

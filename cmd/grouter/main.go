@@ -1,0 +1,122 @@
+// Command grouter globally routes a general-cell layout.
+//
+// Usage:
+//
+//	grouter -input chip.json                  # route and report
+//	grouter -input chip.json -corner -workers 8
+//	grouter -input chip.json -congestion -pitch 4 -weight 100
+//	grouter -input chip.json -tracks          # include detailed tracks
+//	grouter -input chip.json -wires           # dump the routed wires
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/viz"
+)
+
+func main() {
+	var (
+		input      = flag.String("input", "", "layout JSON file (required)")
+		workers    = flag.Int("workers", 0, "routing workers (0 = GOMAXPROCS)")
+		corner     = flag.Bool("corner", false, "enable the inverted-corner epsilon rule")
+		congestion = flag.Bool("congestion", false, "run the two-pass congestion flow")
+		pitch      = flag.Int64("pitch", 4, "wire pitch for congestion capacity")
+		weight     = flag.Int64("weight", 100, "detour accepted per congested crossing")
+		tracks     = flag.Bool("tracks", false, "run detailed track assignment")
+		wires      = flag.Bool("wires", false, "print the routed segments")
+		draw       = flag.Bool("draw", false, "render the routed layout as ASCII art")
+	)
+	flag.Parse()
+	if *input == "" {
+		fmt.Fprintln(os.Stderr, "grouter: -input is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*input)
+	if err != nil {
+		fatal(err)
+	}
+	l, err := genroute.ReadLayout(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	s := l.Summary()
+	fmt.Printf("layout %q: %d cells, %d nets, %d pins, %.1f%% utilization\n",
+		l.Name, s.Cells, s.Nets, s.Pins, s.Utilization)
+
+	if *congestion {
+		res, err := genroute.RouteWithCongestion(l, *pitch, *weight, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("pass 1: length=%d overflow=%d (over %d passages)\n",
+			res.First.TotalLength, res.Before.TotalOverflow(), len(res.Before.Overflowed()))
+		if res.Second == nil {
+			fmt.Println("no congestion: single pass suffices")
+			report(l, res.First, *tracks, *wires, *draw)
+			return
+		}
+		fmt.Printf("pass 2: rerouted %d nets, length=%d overflow=%d\n",
+			len(res.Rerouted), res.Second.TotalLength, res.After.TotalOverflow())
+		report(l, res.Second, *tracks, *wires, *draw)
+		return
+	}
+
+	opts := []genroute.Option{genroute.WithWorkers(*workers)}
+	if *corner {
+		opts = append(opts, genroute.WithCornerRule())
+	}
+	r, err := genroute.NewRouter(l, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := r.RouteAll()
+	if err != nil {
+		fatal(err)
+	}
+	report(l, res, *tracks, *wires, *draw)
+}
+
+// report prints the routing summary, optional tracks and wires.
+func report(l *genroute.Layout, res *genroute.Result, tracks, wires, draw bool) {
+	fmt.Printf("routed %d nets in %v: total length %d, %d expansions\n",
+		len(res.Nets), res.Elapsed.Round(1000), res.TotalLength, res.Stats.Expanded)
+	if len(res.Failed) > 0 {
+		fmt.Printf("FAILED nets: %v\n", res.Failed)
+	}
+	if err := genroute.CheckConnectivity(l, res); err != nil {
+		fmt.Printf("CONNECTIVITY ERROR: %v\n", err)
+		os.Exit(1)
+	}
+	if tracks {
+		tr := genroute.AssignTracks(res, 0)
+		fmt.Printf("detailed: %d wires in %d channels, %d total tracks (max %d) in %v\n",
+			tr.Wires, len(tr.Channels), tr.TotalTracks, tr.MaxTracks, tr.Elapsed.Round(1000))
+	}
+	if wires {
+		for i := range res.Nets {
+			nr := &res.Nets[i]
+			fmt.Printf("net %s (length %d):\n", nr.Net, nr.Length)
+			for _, seg := range nr.SortedSegments() {
+				fmt.Printf("  %v\n", seg)
+			}
+		}
+	}
+	if draw {
+		segs := make([][]genroute.Seg, len(res.Nets))
+		for i := range res.Nets {
+			segs[i] = res.Nets[i].Segments
+		}
+		fmt.Print(viz.Layout(l, segs, 0))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "grouter:", err)
+	os.Exit(1)
+}

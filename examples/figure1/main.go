@@ -1,0 +1,76 @@
+// Figure1: reproduce the paper's Figure 1 — the A* node expansion on a
+// field of general cells — with an ASCII rendering of the layout, the
+// expanded/generated search nodes and the final route.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/gridrouter"
+	"repro/internal/plane"
+	"repro/internal/router"
+	"repro/internal/search"
+	"repro/internal/viz"
+)
+
+func main() {
+	l, s, d := gen.Fig1Layout()
+	ix, err := plane.FromLayout(l)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Route with the paper's configuration, tracing the search so the
+	// generated and expanded nodes can be drawn like the figure.
+	var expanded, generated []geom.Point
+	r := router.New(ix, router.Options{
+		OnExpand:   func(p geom.Point, g search.Cost) { expanded = append(expanded, p) },
+		OnGenerate: func(p geom.Point, g search.Cost) { generated = append(generated, p) },
+	})
+	route, err := r.RoutePoints(s, d)
+	if err != nil || !route.Found {
+		log.Fatal("figure-1 route failed")
+	}
+
+	// Grid baselines on the same problem.
+	grid, err := gridrouter.FromPlane(ix, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wave, err := grid.LeeMoore(s, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gridA, err := grid.Route(s, d, search.AStar)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("figure 1 reproduction: s=%v d=%v, optimal length %d\n\n", s, d, route.Length)
+	fmt.Printf("%-24s %10s %10s\n", "method", "expanded", "generated")
+	fmt.Printf("%-24s %10d %10d\n", "gridless A* (the paper)", route.Stats.Expanded, route.Stats.Generated)
+	fmt.Printf("%-24s %10d %10d\n", "grid A*", gridA.Stats.Expanded, gridA.Stats.Generated)
+	fmt.Printf("%-24s %10d %10d\n", "Lee-Moore wavefront", wave.Stats.Expanded, wave.Stats.Generated)
+
+	fmt.Println("\nexpansion order (the handful of nodes the paper's figure shows):")
+	for i, p := range expanded {
+		fmt.Printf("  %2d: %v\n", i+1, p)
+	}
+
+	fmt.Println("\nlayout and route (#: cell, +: generated node, @: expanded node, *: route):")
+	c := viz.NewCanvas(l.Bounds, 5)
+	c.DrawLayout(l)
+	c.DrawPath(route.Points, '*')
+	for _, p := range generated {
+		c.Mark(p, '+')
+	}
+	for _, p := range expanded {
+		c.Mark(p, '@')
+	}
+	c.Mark(s, 'S')
+	c.Mark(d, 'D')
+	fmt.Print(c.String())
+}

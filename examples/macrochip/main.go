@@ -1,0 +1,102 @@
+// Macrochip: the full chip-assembly flow from the paper's introduction on
+// a generated macro-cell design — global routing (independent, parallel),
+// congestion analysis with a second pass, and detailed track assignment.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// A synthetic chip: 24 macros, 70 nets, some multi-terminal and some
+	// with multi-pin terminals, plus boundary pads.
+	l, err := genroute.Random(genroute.GenConfig{
+		Seed:         2026,
+		Cells:        24,
+		Nets:         70,
+		MaxTerminals: 4,
+		MultiPinProb: 20,
+		PadProb:      15,
+		Width:        1200,
+		Height:       1200,
+		Separation:   12,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := l.Summary()
+	fmt.Printf("chip %q: %d cells, %d nets, %d pins, %.1f%% cell utilization\n",
+		l.Name, s.Cells, s.Nets, s.Pins, s.Utilization)
+
+	// Phase 1: global routing. Nets are independent, so this fans out
+	// across all cores.
+	r, err := genroute.NewRouter(l, genroute.WithWorkers(0), genroute.WithCornerRule())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := r.RouteAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nglobal routing: %d nets in %v, wirelength %d, %d expansions\n",
+		len(res.Nets), res.Elapsed, res.TotalLength, res.Stats.Expanded)
+	if len(res.Failed) > 0 {
+		fmt.Printf("  failed: %v\n", res.Failed)
+	}
+	if err := genroute.CheckConnectivity(l, res); err != nil {
+		log.Fatal("connectivity: ", err)
+	}
+
+	// Phase 2: congestion. Passages between adjacent cells have finite
+	// wire capacity; a second pass reroutes the nets using overflowed
+	// passages with a detour penalty.
+	cres, err := genroute.RouteWithCongestion(l, 4, 200, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncongestion: %d passages, overflow %d after pass 1\n",
+		len(cres.Before.Passages), cres.Before.TotalOverflow())
+	if cres.Second != nil {
+		fmt.Printf("  second pass rerouted %d nets: overflow %d -> %d, length %d -> %d\n",
+			len(cres.Rerouted), cres.Before.TotalOverflow(), cres.After.TotalOverflow(),
+			cres.First.TotalLength, cres.Second.TotalLength)
+		res = cres.Second
+	} else {
+		fmt.Println("  no overflow: the first pass stands")
+	}
+
+	// Phase 3: detailed routing — dynamic channels from net interference,
+	// left-edge track assignment inside each.
+	tr := genroute.AssignTracks(res, 0)
+	la := genroute.AssignLayers(res)
+	fmt.Printf("\ndetailed: %d wires -> %d channels, %d tracks total (largest channel %d) in %v\n",
+		tr.Wires, len(tr.Channels), tr.TotalTracks, tr.MaxTracks, tr.Elapsed)
+	fmt.Printf("layers: %d horizontal + %d vertical wires, %d vias\n",
+		la.HorizontalWires, la.VerticalWires, la.Vias)
+
+	// Quality: compare each multi-terminal tree against the Steiner lower
+	// bound.
+	worst, worstNet := 0.0, ""
+	for i := range res.Nets {
+		nr := &res.Nets[i]
+		if !nr.Found || nr.Length == 0 {
+			continue
+		}
+		var pts []genroute.Point
+		for _, t := range l.Nets[i].Terminals {
+			pts = append(pts, t.Pins[0].Pos)
+		}
+		lb := genroute.TreeLowerBound(pts)
+		if lb == 0 {
+			continue
+		}
+		ratio := float64(nr.Length) / float64(lb)
+		if ratio > worst {
+			worst, worstNet = ratio, nr.Net
+		}
+	}
+	fmt.Printf("\nquality: worst tree vs Steiner lower bound: %.2fx (net %s)\n", worst, worstNet)
+}

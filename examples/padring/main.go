@@ -1,0 +1,65 @@
+// Padring: route a pad ring — boundary pads wired to core macros — and
+// compare the gridless A* router against a Hightower-style quick first try
+// on the same connections, the combination the paper was motivated by.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/hightower"
+	"repro/internal/plane"
+)
+
+func main() {
+	l, err := genroute.PadRing(24, 8, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := l.Summary()
+	fmt.Printf("pad ring %q: %d pads, %d core cells\n", l.Name, s.Nets, s.Cells)
+
+	r, err := genroute.NewRouter(l, genroute.WithWorkers(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := r.RouteAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := genroute.CheckConnectivity(l, res); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("A* routed %d/%d nets, wirelength %d, in %v\n",
+		len(res.Nets)-len(res.Failed), len(res.Nets), res.TotalLength, res.Elapsed)
+
+	// The same pad connections with a tightly budgeted line probe: fast,
+	// but some connections fail and found routes can be longer.
+	ix, err := plane.FromLayout(l)
+	if err != nil {
+		log.Fatal(err)
+	}
+	probeOK, probeLen := 0, int64(0)
+	for i := range l.Nets {
+		a := l.Nets[i].Terminals[0].Pins[0].Pos
+		b := l.Nets[i].Terminals[1].Pins[0].Pos
+		pr := hightower.Route(ix, a, b, hightower.Options{MaxLines: 8})
+		if pr.Found {
+			probeOK++
+			probeLen += pr.Length
+		}
+	}
+	fmt.Printf("line probe (budget 8): %d/%d connected, wirelength %d on successes\n",
+		probeOK, len(l.Nets), probeLen)
+	fmt.Println("\nper-net report (A*):")
+	for i := range res.Nets {
+		nr := &res.Nets[i]
+		status := "ok"
+		if !nr.Found {
+			status = "FAILED"
+		}
+		fmt.Printf("  %-6s %-6s length %5d, %3d expansions\n",
+			nr.Net, status, nr.Length, nr.Stats.Expanded)
+	}
+}

@@ -1,0 +1,64 @@
+// Quickstart: define a three-cell layout by hand, route it, and print the
+// wires — the smallest complete use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// A layout is cells (rectangular blocks) plus nets (terminals to
+	// connect). Pins sit on cell boundaries; Cell: NoCell marks a pad on
+	// the chip edge.
+	l := &genroute.Layout{
+		Name:   "quickstart",
+		Bounds: genroute.R(0, 0, 300, 200),
+		Cells: []genroute.Cell{
+			{Name: "cpu", Box: genroute.R(30, 40, 120, 160)},
+			{Name: "rom", Box: genroute.R(160, 30, 270, 100)},
+			{Name: "io", Box: genroute.R(170, 130, 260, 180)},
+		},
+		Nets: []genroute.Net{
+			{Name: "addr", Terminals: []genroute.Terminal{
+				{Name: "cpu", Pins: []genroute.Pin{{Name: "a", Pos: genroute.Pt(120, 80), Cell: 0}}},
+				{Name: "rom", Pins: []genroute.Pin{{Name: "a", Pos: genroute.Pt(160, 70), Cell: 1}}},
+			}},
+			{Name: "irq", Terminals: []genroute.Terminal{
+				{Name: "cpu", Pins: []genroute.Pin{{Name: "i", Pos: genroute.Pt(100, 160), Cell: 0}}},
+				{Name: "io", Pins: []genroute.Pin{{Name: "i", Pos: genroute.Pt(170, 150), Cell: 2}}},
+				{Name: "rom", Pins: []genroute.Pin{{Name: "i", Pos: genroute.Pt(200, 100), Cell: 1}}},
+			}},
+			{Name: "reset", Terminals: []genroute.Terminal{
+				{Name: "pad", Pins: []genroute.Pin{{Name: "p", Pos: genroute.Pt(0, 100), Cell: genroute.NoCell}}},
+				{Name: "cpu", Pins: []genroute.Pin{{Name: "r", Pos: genroute.Pt(30, 100), Cell: 0}}},
+			}},
+		},
+	}
+
+	// NewRouter validates the layout (rectangular cells, non-zero
+	// separation, pins on boundaries) and indexes the obstacles.
+	r, err := genroute.NewRouter(l, genroute.WithCornerRule())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := r.RouteAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := genroute.CheckConnectivity(l, res); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("routed %d nets, total wirelength %d, %d node expansions, in %v\n",
+		len(res.Nets), res.TotalLength, res.Stats.Expanded, res.Elapsed)
+	for i := range res.Nets {
+		nr := &res.Nets[i]
+		fmt.Printf("\nnet %-6s length %4d:\n", nr.Net, nr.Length)
+		for _, s := range nr.SortedSegments() {
+			fmt.Printf("  wire %v\n", s)
+		}
+	}
+}

@@ -1,0 +1,313 @@
+// Package genroute is a global router for general-cell (building-block /
+// macro-cell) integrated-circuit layouts, reproducing Gary W. Clow's
+// "A Global Routing Algorithm for General Cells" (DAC 1984).
+//
+// The router is gridless: no routing grid is assumed for either module
+// placement or pin locations. Routes are found by A* search with
+// ray-tracing successor generation — paths extend as far toward the goal
+// as feasible and hug cell boundaries when obstacles intervene — so the
+// search expands dramatically fewer nodes than Lee–Moore grid expansion
+// while still returning minimal-length routes. Multi-terminal nets are
+// approximated Steiner trees (tree segments are attachment points);
+// multi-pin terminals group electrically equivalent pins. Every net is
+// routed independently against the cells only, which eliminates net
+// ordering and makes whole-layout routing embarrassingly parallel.
+//
+// # Quick start
+//
+//	l := &genroute.Layout{ ... cells, nets ... }
+//	r, err := genroute.NewRouter(l)
+//	res, err := r.RouteAll()
+//
+// See the examples directory for complete programs, DESIGN.md for the
+// system inventory, and EXPERIMENTS.md for the paper-vs-measured record.
+package genroute
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/adjust"
+	"repro/internal/congest"
+	"repro/internal/detail"
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/plane"
+	"repro/internal/ray"
+	"repro/internal/router"
+	"repro/internal/steiner"
+)
+
+// Re-exported model types. A Layout holds rectangular Cells and the Nets to
+// connect; a Net has Terminals (connection targets); a Terminal has one or
+// more electrically equivalent Pins.
+type (
+	// Layout is a complete routing problem.
+	Layout = layout.Layout
+	// Cell is a placed rectangular block.
+	Cell = layout.Cell
+	// Pin is a connection point on a cell boundary (or a pad).
+	Pin = layout.Pin
+	// Terminal groups the equivalent pins of one connection target.
+	Terminal = layout.Terminal
+	// Net is a set of terminals to be connected.
+	Net = layout.Net
+	// Point is an integer location on the routing plane.
+	Point = geom.Point
+	// Rect is an axis-aligned rectangle.
+	Rect = geom.Rect
+	// Seg is an axis-parallel wire segment.
+	Seg = geom.Seg
+	// Route is a single connection result.
+	Route = router.Route
+	// NetRoute is a routed net tree.
+	NetRoute = router.NetRoute
+	// Result aggregates the routes of a whole layout.
+	Result = router.LayoutResult
+	// GenConfig parameterizes the random layout generator.
+	GenConfig = gen.Config
+	// CongestionResult reports a two-pass congestion-aware run.
+	CongestionResult = congest.PassResult
+	// TrackResult reports detailed-routing track assignment.
+	TrackResult = detail.Result
+)
+
+// NoCell marks a pad pin that belongs to the chip boundary.
+const NoCell = layout.NoCell
+
+// Pt constructs a Point.
+func Pt(x, y int64) Point { return geom.Pt(x, y) }
+
+// R constructs a Rect from any two opposite corners.
+func R(x0, y0, x1, y1 int64) Rect { return geom.R(x0, y0, x1, y1) }
+
+// config collects router options.
+type config struct {
+	opts       router.Options
+	workers    int
+	cornerRule bool
+}
+
+// Option customizes a Router.
+type Option func(*config)
+
+// WithCornerRule enables the paper's inverted-corner ε rule: among
+// equal-length routes the router prefers bends that hug cell boundaries
+// (Figure 2).
+func WithCornerRule() Option {
+	return func(c *config) { c.cornerRule = true }
+}
+
+// WithAllDirs switches the successor generator to cast rays in all four
+// directions from every node (a denser search graph; used by the
+// ablations).
+func WithAllDirs() Option {
+	return func(c *config) { c.opts.Mode = ray.AllDirs }
+}
+
+// WithWorkers sets the number of concurrent net-routing workers for
+// RouteAll; n <= 0 uses GOMAXPROCS.
+func WithWorkers(n int) Option {
+	return func(c *config) { c.workers = n }
+}
+
+// WithMaxExpansions bounds search effort per connection.
+func WithMaxExpansions(n int) Option {
+	return func(c *config) { c.opts.MaxExpansions = n }
+}
+
+// Router routes a validated layout.
+type Router struct {
+	l          *Layout
+	ix         *plane.Index
+	r          *router.Router
+	workers    int
+	cornerRule bool
+}
+
+// NewRouter validates the layout (the paper's three placement restrictions
+// plus pin well-formedness) and builds a router over it.
+func NewRouter(l *Layout, opts ...Option) (*Router, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	ix, err := plane.FromLayout(l)
+	if err != nil {
+		return nil, err
+	}
+	cfg := config{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.cornerRule {
+		cfg.opts.Cost = router.CornerCost{Ix: ix}
+	}
+	r := &Router{l: l, ix: ix, workers: cfg.workers, cornerRule: cfg.cornerRule}
+	r.r = router.New(ix, cfg.opts)
+	return r, nil
+}
+
+// RouteAll routes every net independently (concurrently when workers > 1).
+func (r *Router) RouteAll() (*Result, error) {
+	return r.r.RouteLayout(r.l, r.workers)
+}
+
+// RouteNet routes one net by name.
+func (r *Router) RouteNet(name string) (NetRoute, error) {
+	for i := range r.l.Nets {
+		if r.l.Nets[i].Name == name {
+			return r.r.RouteNet(&r.l.Nets[i])
+		}
+	}
+	return NetRoute{}, fmt.Errorf("genroute: no net %q", name)
+}
+
+// RoutePoints routes between two arbitrary points, avoiding all cells.
+func (r *Router) RoutePoints(a, b Point) (Route, error) {
+	return r.r.RoutePoints(a, b)
+}
+
+// Validate checks a routed net tree against the layout geometry.
+func (r *Router) Validate(nr *NetRoute) error {
+	return r.r.Validate(nr)
+}
+
+// CheckConnectivity verifies that a layout result physically connects every
+// net: all terminals of each net must be joined through wire segments,
+// where any pin of a multi-pin terminal counts as a connection point.
+func CheckConnectivity(l *Layout, res *Result) error {
+	if len(res.Nets) != len(l.Nets) {
+		return fmt.Errorf("genroute: result has %d nets, layout %d", len(res.Nets), len(l.Nets))
+	}
+	for i := range l.Nets {
+		nr := &res.Nets[i]
+		if !nr.Found {
+			continue // failures are reported, not connectivity errors
+		}
+		if err := netConnected(&l.Nets[i], nr.Segments); err != nil {
+			return fmt.Errorf("net %q: %w", l.Nets[i].Name, err)
+		}
+	}
+	return nil
+}
+
+// netConnected checks one net: union terminals and segments through
+// shared points; every terminal must land in one component.
+func netConnected(n *Net, segs []Seg) error {
+	nTerm := len(n.Terminals)
+	nodes := nTerm + len(segs)
+	parent := make([]int, nodes)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	// Segment-segment adjacency.
+	for i := range segs {
+		for j := i + 1; j < len(segs); j++ {
+			if segs[i].Intersects(segs[j]) {
+				union(nTerm+i, nTerm+j)
+			}
+		}
+	}
+	// Terminal-segment and terminal-terminal adjacency via pins.
+	for ti := range n.Terminals {
+		for _, p := range n.Terminals[ti].Pins {
+			for si := range segs {
+				if segs[si].Contains(p.Pos) {
+					union(ti, nTerm+si)
+				}
+			}
+			for tj := ti + 1; tj < nTerm; tj++ {
+				for _, q := range n.Terminals[tj].Pins {
+					if p.Pos == q.Pos {
+						union(ti, tj)
+					}
+				}
+			}
+		}
+	}
+	for ti := 1; ti < nTerm; ti++ {
+		if find(ti) != find(0) {
+			return fmt.Errorf("terminal %q not connected", n.Terminals[ti].Name)
+		}
+	}
+	return nil
+}
+
+// RouteWithCongestion runs the paper's two-pass congestion flow: route all
+// nets, find overflowed passages at the given wiring pitch, and reroute the
+// affected nets with a penalty of `weight` length units per congested
+// crossing.
+func RouteWithCongestion(l *Layout, pitch, weight int64, workers int) (*CongestionResult, error) {
+	return congest.TwoPass(l, pitch, weight, workers)
+}
+
+// AssignTracks runs the detailed-routing stage over a routed layout:
+// dynamic channel formation by net interference, then left-edge track
+// assignment. window is the interference proximity (0 for the default).
+func AssignTracks(res *Result, window int64) *TrackResult {
+	return detail.Assign(res, detail.Options{Window: window})
+}
+
+// LayerResult reports two-layer HV assignment with via counts.
+type LayerResult = detail.LayerAssignment
+
+// AssignLayers applies the classical two-layer discipline (horizontal wires
+// on one layer, vertical on the other) and counts the vias every layer
+// change requires — the "layer assignment" half of the paper's detailed
+// phase.
+func AssignLayers(res *Result) *LayerResult {
+	return detail.AssignLayers(res)
+}
+
+// AdjustResult reports the placement-adjustment feedback loop.
+type AdjustResult = adjust.Result
+
+// AdjustPlacement runs the spacing feedback loop the paper's introduction
+// describes: route, measure passage congestion, widen overflowed passages
+// by shifting cells apart (growing the die), and repeat until the routing
+// fits or the iteration budget runs out. The input layout is not modified;
+// the adjusted placement is returned in the result.
+func AdjustPlacement(l *Layout, pitch int64, maxIters, workers int) (*AdjustResult, error) {
+	return adjust.Run(l, adjust.Options{Pitch: pitch, MaxIters: maxIters, Workers: workers})
+}
+
+// Random generates a random validated layout (see GenConfig).
+func Random(cfg GenConfig) (*Layout, error) { return gen.RandomLayout(cfg) }
+
+// PolyChip generates a layout mixing rectangular and orthogonal-polygon
+// (L/U/T) cells — the paper's polygon extension workload.
+func PolyChip(seed int64, cells, nets int) (*Layout, error) {
+	return gen.PolyChip(seed, cells, nets)
+}
+
+// GridOfMacros generates a rows x cols macro array with bus and control
+// nets.
+func GridOfMacros(rows, cols int, cellW, cellH, gap int64, seed int64) (*Layout, error) {
+	return gen.GridOfMacros(rows, cols, cellW, cellH, gap, seed)
+}
+
+// PadRing generates a pad ring around a random core.
+func PadRing(pads, coreCells int, seed int64) (*Layout, error) {
+	return gen.PadRing(pads, coreCells, seed)
+}
+
+// ReadLayout decodes and validates a JSON layout.
+func ReadLayout(r io.Reader) (*Layout, error) { return layout.ReadJSON(r) }
+
+// WriteLayout encodes a layout as JSON.
+func WriteLayout(w io.Writer, l *Layout) error { return l.WriteJSON(w) }
+
+// TreeLowerBound returns a lower bound on the Steiner tree length for a set
+// of points (max of the half-perimeter and Hwang bounds) — useful for
+// judging route quality.
+func TreeLowerBound(pts []Point) int64 { return steiner.RSMTLowerBound(pts) }

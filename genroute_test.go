@@ -1,0 +1,373 @@
+package genroute
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// demoLayout builds a small chip: three cells, a two-pin net, a
+// three-terminal net and a pad net.
+func demoLayout() *Layout {
+	return &Layout{
+		Name:   "demo",
+		Bounds: R(0, 0, 300, 300),
+		Cells: []Cell{
+			{Name: "alu", Box: R(30, 30, 110, 130)},
+			{Name: "rom", Box: R(150, 40, 260, 120)},
+			{Name: "ram", Box: R(60, 170, 200, 260)},
+		},
+		Nets: []Net{
+			{Name: "bus", Terminals: []Terminal{
+				{Name: "alu", Pins: []Pin{{Name: "p", Pos: Pt(110, 80), Cell: 0}}},
+				{Name: "rom", Pins: []Pin{{Name: "p", Pos: Pt(150, 80), Cell: 1}}},
+			}},
+			{Name: "clk", Terminals: []Terminal{
+				{Name: "alu", Pins: []Pin{{Name: "p", Pos: Pt(70, 130), Cell: 0}}},
+				{Name: "rom", Pins: []Pin{{Name: "p", Pos: Pt(200, 120), Cell: 1}}},
+				{Name: "ram", Pins: []Pin{{Name: "p", Pos: Pt(130, 170), Cell: 2}}},
+			}},
+			{Name: "in0", Terminals: []Terminal{
+				{Name: "pad", Pins: []Pin{{Name: "p", Pos: Pt(0, 150), Cell: NoCell}}},
+				{Name: "alu", Pins: []Pin{
+					{Name: "west", Pos: Pt(30, 90), Cell: 0},
+					{Name: "north", Pos: Pt(80, 130), Cell: 0},
+				}},
+			}},
+		},
+	}
+}
+
+func TestRouteAllDemo(t *testing.T) {
+	l := demoLayout()
+	r, err := NewRouter(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.RouteAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failed) != 0 {
+		t.Fatalf("failed nets: %v", res.Failed)
+	}
+	for i := range res.Nets {
+		if err := r.Validate(&res.Nets[i]); err != nil {
+			t.Error(err)
+		}
+	}
+	if err := CheckConnectivity(l, res); err != nil {
+		t.Fatal(err)
+	}
+	// The bus runs straight across the 40-unit gap.
+	for i := range res.Nets {
+		if res.Nets[i].Net == "bus" && res.Nets[i].Length != 40 {
+			t.Errorf("bus length = %d, want 40", res.Nets[i].Length)
+		}
+	}
+}
+
+func TestNewRouterRejectsInvalid(t *testing.T) {
+	l := demoLayout()
+	l.Cells[1].Box = R(100, 30, 260, 120) // overlaps alu
+	if _, err := NewRouter(l); err == nil {
+		t.Fatal("invalid layout must be rejected")
+	}
+}
+
+func TestRouteNetByName(t *testing.T) {
+	r, err := NewRouter(demoLayout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nr, err := r.RouteNet("clk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nr.Found {
+		t.Fatal("clk should route")
+	}
+	if _, err := r.RouteNet("nope"); err == nil {
+		t.Fatal("unknown net must error")
+	}
+}
+
+func TestRoutePointsFacade(t *testing.T) {
+	r, err := NewRouter(demoLayout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	route, err := r.RoutePoints(Pt(0, 0), Pt(300, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !route.Found {
+		t.Fatal("corner-to-corner should route")
+	}
+}
+
+func TestOptionsApply(t *testing.T) {
+	l := demoLayout()
+	for _, opts := range [][]Option{
+		{WithCornerRule()},
+		{WithAllDirs()},
+		{WithWorkers(2)},
+		{WithMaxExpansions(100000)},
+		{WithCornerRule(), WithAllDirs(), WithWorkers(1)},
+	} {
+		r, err := NewRouter(l, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.RouteAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Failed) != 0 {
+			t.Fatalf("failures with options: %v", res.Failed)
+		}
+		if err := CheckConnectivity(l, res); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMultiPinTerminalConnectivity(t *testing.T) {
+	// The in0 net may connect to either of the alu terminal's two pins;
+	// connectivity must hold regardless of which pin was used.
+	l := demoLayout()
+	r, err := NewRouter(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.RouteAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckConnectivity(l, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckConnectivityCatchesGaps(t *testing.T) {
+	l := demoLayout()
+	r, err := NewRouter(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.RouteAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage: drop all segments of a routed multi-terminal net.
+	for i := range res.Nets {
+		if res.Nets[i].Net == "clk" {
+			res.Nets[i].Segments = nil
+		}
+	}
+	if err := CheckConnectivity(l, res); err == nil {
+		t.Fatal("gutted net should fail connectivity")
+	}
+}
+
+func TestGeneratorsThroughFacade(t *testing.T) {
+	l, err := Random(GenConfig{Seed: 5, Cells: 8, Nets: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRouter(l, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.RouteAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckConnectivity(l, res); err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := GridOfMacros(2, 3, 50, 40, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg, err := NewRouter(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gres, err := rg.RouteAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gres.Failed) != 0 {
+		t.Fatalf("grid failures: %v", gres.Failed)
+	}
+
+	p, err := PadRing(8, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := NewRouter(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, err := rp.RouteAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pres.Failed) != 0 {
+		t.Fatalf("pad ring failures: %v", pres.Failed)
+	}
+}
+
+func TestCongestionFlowFacade(t *testing.T) {
+	l := demoLayout()
+	res, err := RouteWithCongestion(l, 4, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.First == nil || res.Before == nil {
+		t.Fatal("first pass must always run")
+	}
+}
+
+func TestAssignTracksFacade(t *testing.T) {
+	l := demoLayout()
+	r, err := NewRouter(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.RouteAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := AssignTracks(res, 0)
+	if tr.Wires == 0 {
+		t.Fatal("expected wires to assign")
+	}
+}
+
+func TestLayoutJSONFacade(t *testing.T) {
+	l := demoLayout()
+	var buf bytes.Buffer
+	if err := WriteLayout(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLayout(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "demo" || len(got.Nets) != 3 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if _, err := ReadLayout(strings.NewReader("{")); err == nil {
+		t.Fatal("bad JSON must fail")
+	}
+}
+
+func TestTreeLowerBound(t *testing.T) {
+	pts := []Point{Pt(0, 0), Pt(20, 0), Pt(10, 15)}
+	if lb := TreeLowerBound(pts); lb != 35 {
+		t.Fatalf("lower bound = %d, want 35", lb)
+	}
+}
+
+func TestPolygonCellsThroughFacade(t *testing.T) {
+	l, err := PolyChip(3, 10, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRouter(l, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.RouteAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failed) != 0 {
+		t.Fatalf("polygon chip failures: %v", res.Failed)
+	}
+	if err := CheckConnectivity(l, res); err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Nets {
+		if err := r.Validate(&res.Nets[i]); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestHandBuiltPolygonCell(t *testing.T) {
+	// An L-shaped cell declared inline via the Poly field, with a pin in
+	// the notch region that a rectangular abstraction would embed.
+	l := &Layout{
+		Name:   "lcell",
+		Bounds: R(0, 0, 200, 200),
+		Cells: []Cell{{
+			Name: "L",
+			Poly: []Point{
+				Pt(40, 40), Pt(140, 40), Pt(140, 90),
+				Pt(90, 90), Pt(90, 140), Pt(40, 140),
+			},
+		}},
+		Nets: []Net{{
+			Name: "notch",
+			Terminals: []Terminal{
+				{Name: "in", Pins: []Pin{{Name: "p", Pos: Pt(100, 90), Cell: 0}}},
+				{Name: "out", Pins: []Pin{{Name: "p", Pos: Pt(0, 0), Cell: NoCell}}},
+			},
+		}},
+	}
+	r, err := NewRouter(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.RouteAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failed) != 0 {
+		t.Fatalf("failures: %v", res.Failed)
+	}
+	if err := CheckConnectivity(l, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdjustPlacementFacade(t *testing.T) {
+	// Overload a slit, then let the feedback loop widen it.
+	l := &Layout{
+		Name:   "feedback",
+		Bounds: R(0, 0, 400, 200),
+		Cells: []Cell{
+			{Name: "lower", Box: R(190, 0, 210, 96)},
+			{Name: "upper", Box: R(190, 104, 210, 200)},
+		},
+	}
+	for i := 0; i < 10; i++ {
+		y := int64(60 + 8*i)
+		l.Nets = append(l.Nets, Net{
+			Name: netName(i),
+			Terminals: []Terminal{
+				{Name: "w", Pins: []Pin{{Name: "p", Pos: Pt(10, y), Cell: NoCell}}},
+				{Name: "e", Pins: []Pin{{Name: "p", Pos: Pt(390, y), Cell: NoCell}}},
+			},
+		})
+	}
+	res, err := AdjustPlacement(l, 2, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("feedback loop should converge: %+v", res.Iterations)
+	}
+	if res.Layout.Bounds == l.Bounds {
+		t.Fatal("die should have grown")
+	}
+	if len(res.Final.Failed) != 0 {
+		t.Fatalf("final failures: %v", res.Final.Failed)
+	}
+}
+
+func netName(i int) string { return "n" + string(rune('a'+i)) }

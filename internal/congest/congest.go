@@ -1,0 +1,301 @@
+// Package congest models the paper's "channel congestion" extension:
+//
+//	"Since there are no channels the term is slightly abused, but it refers
+//	here to congested passages between adjacent cells. A first-pass route
+//	of all nets would reveal congested areas … A second route of the
+//	affected nets could penalize those paths which chose the congested
+//	area."
+//
+// Extract enumerates the passages — free corridors between facing cells and
+// between cells and the routing boundary — with a wire capacity derived
+// from the gap width and the wiring pitch. BuildMap counts how many nets
+// run through each passage. TwoPass routes a layout, finds the overflowed
+// passages, and reroutes exactly the affected nets with a cost penalty on
+// those passages.
+package congest
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/plane"
+	"repro/internal/router"
+	"repro/internal/search"
+)
+
+// Boundary is the pseudo-cell index used when a passage separates a cell
+// from the routing boundary.
+const Boundary = -1
+
+// Passage is one free corridor between two facing obstacles.
+type Passage struct {
+	// Between are the two cell indices, Boundary for the routing edge.
+	Between [2]int
+	// Rect is the corridor region.
+	Rect geom.Rect
+	// Vertical reports the traffic direction: a vertical passage lies
+	// between horizontally adjacent cells and carries north–south wires.
+	Vertical bool
+	// Width is the gap size across the corridor.
+	Width geom.Coord
+	// Capacity is the number of wires that fit at the given pitch.
+	Capacity int
+}
+
+// CrossSection returns the line across the corridor that through-traffic
+// must cross: the horizontal midline of a vertical passage, and vice versa.
+func (p Passage) CrossSection() geom.Seg {
+	c := p.Rect.Center()
+	if p.Vertical {
+		return geom.S(geom.Pt(p.Rect.MinX, c.Y), geom.Pt(p.Rect.MaxX, c.Y))
+	}
+	return geom.S(geom.Pt(c.X, p.Rect.MinY), geom.Pt(c.X, p.Rect.MaxY))
+}
+
+// Extract enumerates the passages of an obstacle index. A cell pair yields
+// a passage when the cells face each other with positive span overlap and
+// no third cell intrudes into the corridor; each cell also forms passages
+// with the routing boundary it faces. pitch is the minimum wire spacing;
+// capacity = gap/pitch + 1 (wires may run on both corridor boundaries).
+func Extract(ix *plane.Index, pitch geom.Coord) ([]Passage, error) {
+	if pitch <= 0 {
+		return nil, fmt.Errorf("congest: pitch must be positive, got %d", pitch)
+	}
+	var out []Passage
+	n := ix.NumCells()
+	b := ix.Bounds()
+	add := func(p Passage) {
+		if p.Width <= 0 || !p.Rect.IsValid() {
+			return
+		}
+		// Reject corridors another cell intrudes into: those decompose
+		// into the narrower passages formed with the intruder itself.
+		for k := 0; k < n; k++ {
+			if k != p.Between[0] && k != p.Between[1] && ix.Cell(k).IntersectsStrict(p.Rect) {
+				return
+			}
+		}
+		p.Capacity = int(p.Width/pitch) + 1
+		out = append(out, p)
+	}
+	for i := 0; i < n; i++ {
+		ci := ix.Cell(i)
+		for j := i + 1; j < n; j++ {
+			cj := ix.Cell(j)
+			// Horizontal adjacency (vertical corridor).
+			if ov := geom.Overlap1D(ci.MinY, ci.MaxY, cj.MinY, cj.MaxY); ov > 0 {
+				lo, hi := geom.Max(ci.MinY, cj.MinY), geom.Min(ci.MaxY, cj.MaxY)
+				if ci.MaxX < cj.MinX {
+					add(Passage{Between: [2]int{i, j}, Vertical: true,
+						Rect: geom.R(ci.MaxX, lo, cj.MinX, hi), Width: cj.MinX - ci.MaxX})
+				} else if cj.MaxX < ci.MinX {
+					add(Passage{Between: [2]int{j, i}, Vertical: true,
+						Rect: geom.R(cj.MaxX, lo, ci.MinX, hi), Width: ci.MinX - cj.MaxX})
+				}
+			}
+			// Vertical adjacency (horizontal corridor).
+			if ov := geom.Overlap1D(ci.MinX, ci.MaxX, cj.MinX, cj.MaxX); ov > 0 {
+				lo, hi := geom.Max(ci.MinX, cj.MinX), geom.Min(ci.MaxX, cj.MaxX)
+				if ci.MaxY < cj.MinY {
+					add(Passage{Between: [2]int{i, j}, Vertical: false,
+						Rect: geom.R(lo, ci.MaxY, hi, cj.MinY), Width: cj.MinY - ci.MaxY})
+				} else if cj.MaxY < ci.MinY {
+					add(Passage{Between: [2]int{j, i}, Vertical: false,
+						Rect: geom.R(lo, cj.MaxY, hi, ci.MinY), Width: ci.MinY - cj.MaxY})
+				}
+			}
+		}
+		// Cell-to-boundary passages.
+		add(Passage{Between: [2]int{Boundary, i}, Vertical: true,
+			Rect: geom.R(b.MinX, ci.MinY, ci.MinX, ci.MaxY), Width: ci.MinX - b.MinX})
+		add(Passage{Between: [2]int{i, Boundary}, Vertical: true,
+			Rect: geom.R(ci.MaxX, ci.MinY, b.MaxX, ci.MaxY), Width: b.MaxX - ci.MaxX})
+		add(Passage{Between: [2]int{Boundary, i}, Vertical: false,
+			Rect: geom.R(ci.MinX, b.MinY, ci.MaxX, ci.MinY), Width: ci.MinY - b.MinY})
+		add(Passage{Between: [2]int{i, Boundary}, Vertical: false,
+			Rect: geom.R(ci.MinX, ci.MaxY, ci.MaxX, b.MaxY), Width: b.MaxY - ci.MaxY})
+	}
+	// Deterministic order: by rect, then orientation.
+	sort.Slice(out, func(a, c int) bool {
+		ra, rc := out[a].Rect, out[c].Rect
+		if ra.MinX != rc.MinX {
+			return ra.MinX < rc.MinX
+		}
+		if ra.MinY != rc.MinY {
+			return ra.MinY < rc.MinY
+		}
+		if ra.MaxX != rc.MaxX {
+			return ra.MaxX < rc.MaxX
+		}
+		if ra.MaxY != rc.MaxY {
+			return ra.MaxY < rc.MaxY
+		}
+		return out[a].Vertical && !out[c].Vertical
+	})
+	return out, nil
+}
+
+// Map is the congestion state of a routed layout.
+type Map struct {
+	// Passages lists the corridors.
+	Passages []Passage
+	// Usage counts distinct nets crossing each passage's cross-section.
+	Usage []int
+	// netsThrough records which net indices use each passage.
+	netsThrough [][]int
+}
+
+// BuildMap counts passage usage for a set of routed nets (one segment list
+// per net).
+func BuildMap(passages []Passage, nets [][]geom.Seg) *Map {
+	m := &Map{
+		Passages:    passages,
+		Usage:       make([]int, len(passages)),
+		netsThrough: make([][]int, len(passages)),
+	}
+	for pi, p := range passages {
+		xs := p.CrossSection()
+		for ni, segs := range nets {
+			for _, s := range segs {
+				if s.Intersects(xs) {
+					m.Usage[pi]++
+					m.netsThrough[pi] = append(m.netsThrough[pi], ni)
+					break
+				}
+			}
+		}
+	}
+	return m
+}
+
+// Overflowed returns the indices of passages whose usage exceeds capacity.
+func (m *Map) Overflowed() []int {
+	var out []int
+	for i, u := range m.Usage {
+		if u > m.Passages[i].Capacity {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// TotalOverflow sums usage minus capacity over all overflowed passages.
+func (m *Map) TotalOverflow() int {
+	total := 0
+	for i, u := range m.Usage {
+		if over := u - m.Passages[i].Capacity; over > 0 {
+			total += over
+		}
+	}
+	return total
+}
+
+// AffectedNets returns the sorted set of net indices that use any
+// overflowed passage.
+func (m *Map) AffectedNets() []int {
+	seen := map[int]bool{}
+	for _, pi := range m.Overflowed() {
+		for _, ni := range m.netsThrough[pi] {
+			seen[ni] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for ni := range seen {
+		out = append(out, ni)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// PenaltyFn prices crossing an overflowed passage at weight length-units of
+// detour: a route will divert around the congestion whenever the detour
+// costs less than weight per crossing.
+func (m *Map) PenaltyFn(weight geom.Coord) router.PenaltyFn {
+	over := m.Overflowed()
+	sections := make([]geom.Seg, len(over))
+	for i, pi := range over {
+		sections[i] = m.Passages[pi].CrossSection()
+	}
+	return func(from, to geom.Point) search.Cost {
+		var penalty search.Cost
+		travel := geom.S(from, to)
+		for _, xs := range sections {
+			if travel.Intersects(xs) {
+				penalty += router.Scale * search.Cost(weight)
+			}
+		}
+		return penalty
+	}
+}
+
+// PassResult reports a two-pass congestion run.
+type PassResult struct {
+	// First and Second are the routing results of each pass; Second is nil
+	// when the first pass had no overflow.
+	First, Second *router.LayoutResult
+	// Before and After are the congestion maps of each pass (After is nil
+	// without a second pass).
+	Before, After *Map
+	// Rerouted lists the nets sent through the second pass.
+	Rerouted []string
+}
+
+// TwoPass implements the paper's two-pass flow over a layout: route all
+// nets, find congested passages, reroute only the affected nets with the
+// congestion penalty, and report both states. pitch sets passage capacity;
+// weight is the detour the router will accept to avoid one overflowed
+// crossing; workers as in Router.RouteLayout.
+func TwoPass(l *layout.Layout, pitch, weight geom.Coord, workers int) (*PassResult, error) {
+	ix, err := plane.FromLayout(l)
+	if err != nil {
+		return nil, err
+	}
+	passages, err := Extract(ix, pitch)
+	if err != nil {
+		return nil, err
+	}
+	base := router.New(ix, router.Options{})
+	first, err := base.RouteLayout(l, workers)
+	if err != nil {
+		return nil, err
+	}
+	res := &PassResult{First: first}
+	res.Before = BuildMap(passages, netSegs(first))
+	affected := res.Before.AffectedNets()
+	if len(affected) == 0 {
+		return res, nil
+	}
+	// Second pass: reroute only the affected nets with the penalty active.
+	penalized := router.New(ix, router.Options{
+		Cost: router.PenaltyCost{Penalty: res.Before.PenaltyFn(weight)},
+	})
+	second := &router.LayoutResult{Nets: append([]router.NetRoute(nil), first.Nets...)}
+	for _, ni := range affected {
+		nr, err := penalized.RouteNet(&l.Nets[ni])
+		if err != nil {
+			return nil, err
+		}
+		second.Nets[ni] = nr
+		res.Rerouted = append(res.Rerouted, l.Nets[ni].Name)
+	}
+	for i := range second.Nets {
+		second.TotalLength += second.Nets[i].Length
+		if !second.Nets[i].Found {
+			second.Failed = append(second.Failed, second.Nets[i].Net)
+		}
+	}
+	res.Second = second
+	res.After = BuildMap(passages, netSegs(second))
+	return res, nil
+}
+
+// netSegs flattens a layout result into one segment list per net.
+func netSegs(lr *router.LayoutResult) [][]geom.Seg {
+	out := make([][]geom.Seg, len(lr.Nets))
+	for i := range lr.Nets {
+		out[i] = lr.Nets[i].Segments
+	}
+	return out
+}

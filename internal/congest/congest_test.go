@@ -1,0 +1,291 @@
+package congest
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/plane"
+	"repro/internal/router"
+)
+
+func mustPlane(t testing.TB, bounds geom.Rect, cells ...geom.Rect) *plane.Index {
+	t.Helper()
+	ix, err := plane.New(bounds, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func findPassage(ps []Passage, a, b int) (Passage, bool) {
+	for _, p := range ps {
+		if (p.Between == [2]int{a, b}) || (p.Between == [2]int{b, a}) {
+			return p, true
+		}
+	}
+	return Passage{}, false
+}
+
+func TestExtractFacingPair(t *testing.T) {
+	// Two cells horizontally adjacent: vertical corridor between them.
+	ix := mustPlane(t, geom.R(0, 0, 100, 100),
+		geom.R(10, 20, 30, 80), // 0
+		geom.R(50, 40, 90, 90), // 1
+	)
+	ps, err := Extract(ix, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := findPassage(ps, 0, 1)
+	if !ok {
+		t.Fatal("missing cell-to-cell passage")
+	}
+	if !p.Vertical {
+		t.Error("corridor between horizontally adjacent cells is vertical")
+	}
+	if p.Rect != geom.R(30, 40, 50, 80) {
+		t.Errorf("corridor rect = %v", p.Rect)
+	}
+	if p.Width != 20 {
+		t.Errorf("width = %d, want 20", p.Width)
+	}
+	if p.Capacity != 6 { // 20/4 + 1
+		t.Errorf("capacity = %d, want 6", p.Capacity)
+	}
+	// Boundary passages exist for each side with positive gap.
+	if _, ok := findPassage(ps, Boundary, 0); !ok {
+		t.Error("missing boundary passage for cell 0")
+	}
+}
+
+func TestExtractVerticalAdjacency(t *testing.T) {
+	ix := mustPlane(t, geom.R(0, 0, 100, 100),
+		geom.R(20, 10, 80, 40),
+		geom.R(30, 60, 70, 90),
+	)
+	ps, err := Extract(ix, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := findPassage(ps, 0, 1)
+	if !ok {
+		t.Fatal("missing passage")
+	}
+	if p.Vertical {
+		t.Error("corridor between vertically adjacent cells is horizontal")
+	}
+	if p.Rect != geom.R(30, 40, 70, 60) || p.Width != 20 {
+		t.Errorf("rect=%v width=%d", p.Rect, p.Width)
+	}
+	xs := p.CrossSection()
+	if !xs.Vertical() {
+		t.Error("horizontal corridor has a vertical cross-section")
+	}
+}
+
+func TestExtractRejectsIntrudedCorridor(t *testing.T) {
+	// A third cell sits inside the would-be corridor: the wide passage
+	// must be dropped (the narrow sub-passages with the intruder remain).
+	ix := mustPlane(t, geom.R(0, 0, 200, 100),
+		geom.R(10, 20, 40, 80),   // 0 left
+		geom.R(160, 20, 190, 80), // 1 right
+		geom.R(90, 30, 110, 70),  // 2 intruder
+	)
+	ps, err := Extract(ix, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := findPassage(ps, 0, 1); ok {
+		t.Error("intruded corridor should be rejected")
+	}
+	if _, ok := findPassage(ps, 0, 2); !ok {
+		t.Error("sub-passage 0-2 should exist")
+	}
+	if _, ok := findPassage(ps, 1, 2); !ok {
+		t.Error("sub-passage 2-1 should exist")
+	}
+}
+
+func TestExtractBadPitch(t *testing.T) {
+	ix := mustPlane(t, geom.R(0, 0, 10, 10))
+	if _, err := Extract(ix, 0); err == nil {
+		t.Fatal("pitch 0 must fail")
+	}
+}
+
+func TestBuildMapCountsNetsOnce(t *testing.T) {
+	ix := mustPlane(t, geom.R(0, 0, 100, 100),
+		geom.R(10, 0, 40, 100),
+		geom.R(60, 0, 90, 100),
+	)
+	ps, err := Extract(ix, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := findPassage(ps, 0, 1)
+	if !ok {
+		t.Fatal("no corridor")
+	}
+	xs := p.CrossSection() // horizontal line at y=50, x in [40,60]
+	_ = xs
+	nets := [][]geom.Seg{
+		{geom.S(geom.Pt(50, 0), geom.Pt(50, 100))},                                           // crosses
+		{geom.S(geom.Pt(50, 0), geom.Pt(50, 49))},                                            // stops short
+		{geom.S(geom.Pt(45, 0), geom.Pt(45, 100)), geom.S(geom.Pt(55, 0), geom.Pt(55, 100))}, // crosses twice, one net
+	}
+	m := BuildMap(ps, nets)
+	pi := -1
+	for i := range m.Passages {
+		if m.Passages[i].Between == p.Between && m.Passages[i].Rect == p.Rect {
+			pi = i
+		}
+	}
+	if pi < 0 {
+		t.Fatal("passage lost in map")
+	}
+	if m.Usage[pi] != 2 {
+		t.Fatalf("usage = %d, want 2 (net counted once)", m.Usage[pi])
+	}
+}
+
+func TestOverflowAccounting(t *testing.T) {
+	ps := []Passage{
+		{Between: [2]int{0, 1}, Rect: geom.R(10, 0, 14, 100), Vertical: true, Width: 4, Capacity: 2},
+		{Between: [2]int{1, 2}, Rect: geom.R(50, 0, 80, 100), Vertical: true, Width: 30, Capacity: 10},
+	}
+	var nets [][]geom.Seg
+	for i := 0; i < 5; i++ {
+		x := geom.Coord(10 + i%4)
+		nets = append(nets, []geom.Seg{geom.S(geom.Pt(x, 0), geom.Pt(x, 100))})
+	}
+	m := BuildMap(ps, nets)
+	if m.Usage[0] != 5 {
+		t.Fatalf("usage = %d, want 5", m.Usage[0])
+	}
+	over := m.Overflowed()
+	if len(over) != 1 || over[0] != 0 {
+		t.Fatalf("Overflowed = %v", over)
+	}
+	if m.TotalOverflow() != 3 {
+		t.Fatalf("TotalOverflow = %d, want 3", m.TotalOverflow())
+	}
+	aff := m.AffectedNets()
+	if len(aff) != 5 {
+		t.Fatalf("AffectedNets = %v", aff)
+	}
+}
+
+func TestPenaltyFn(t *testing.T) {
+	ps := []Passage{{Between: [2]int{0, 1}, Rect: geom.R(10, 0, 14, 100), Vertical: true, Width: 4, Capacity: 0}}
+	nets := [][]geom.Seg{{geom.S(geom.Pt(12, 0), geom.Pt(12, 100))}}
+	m := BuildMap(ps, nets)
+	fn := m.PenaltyFn(25)
+	if got := fn(geom.Pt(12, 0), geom.Pt(12, 100)); got != router.Scale*25 {
+		t.Fatalf("crossing penalty = %d, want %d", got, router.Scale*25)
+	}
+	if got := fn(geom.Pt(0, 0), geom.Pt(5, 0)); got != 0 {
+		t.Fatalf("non-crossing penalty = %d, want 0", got)
+	}
+}
+
+// funnelLayout: a wall with a narrow slit; several nets whose shortest
+// routes all thread the slit, with a longer way around along the chip edge.
+func funnelLayout(nNets int) *layout.Layout {
+	l := &layout.Layout{
+		Name:   "funnel",
+		Bounds: geom.R(0, 0, 200, 100),
+		Cells: []layout.Cell{
+			{Name: "lower", Box: geom.R(90, 0, 100, 48)},
+			{Name: "upper", Box: geom.R(90, 52, 100, 100)},
+		},
+	}
+	for i := 0; i < nNets; i++ {
+		y := geom.Coord(30 + 5*i)
+		l.Nets = append(l.Nets, layout.Net{
+			Name: fmt.Sprintf("n%d", i),
+			Terminals: []layout.Terminal{
+				{Name: "w", Pins: []layout.Pin{{Name: "p", Pos: geom.Pt(10, y), Cell: layout.NoCell}}},
+				{Name: "e", Pins: []layout.Pin{{Name: "p", Pos: geom.Pt(190, y), Cell: layout.NoCell}}},
+			},
+		})
+	}
+	return l
+}
+
+func TestTwoPassReducesOverflow(t *testing.T) {
+	l := funnelLayout(6)
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Slit is 4 wide; pitch 2 → capacity 3. Six nets must overflow it.
+	res, err := TwoPass(l, 2, 150, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Before.TotalOverflow() == 0 {
+		t.Fatal("first pass should overflow the slit")
+	}
+	if res.Second == nil {
+		t.Fatal("second pass should have run")
+	}
+	if len(res.Rerouted) == 0 {
+		t.Fatal("affected nets should be rerouted")
+	}
+	if got, want := res.After.TotalOverflow(), res.Before.TotalOverflow(); got >= want {
+		t.Fatalf("overflow did not improve: before=%d after=%d", want, got)
+	}
+	if len(res.Second.Failed) != 0 {
+		t.Fatalf("second pass failures: %v", res.Second.Failed)
+	}
+	// Rerouted nets are longer (they detour) — congestion relief costs
+	// wirelength, as the paper expects.
+	if res.Second.TotalLength <= res.First.TotalLength {
+		t.Fatalf("detours should add length: %d vs %d",
+			res.Second.TotalLength, res.First.TotalLength)
+	}
+}
+
+func TestTwoPassNoCongestionShortCircuits(t *testing.T) {
+	l := funnelLayout(2) // 2 nets fit the capacity-3 slit
+	res, err := TwoPass(l, 2, 150, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Second != nil || res.After != nil || len(res.Rerouted) != 0 {
+		t.Fatalf("no second pass expected: %+v", res)
+	}
+}
+
+func TestExtractDeterministic(t *testing.T) {
+	ix := mustPlane(t, geom.R(0, 0, 300, 300),
+		geom.R(20, 20, 80, 120), geom.R(120, 40, 200, 100), geom.R(60, 160, 180, 240))
+	a, err := Extract(ix, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Extract(ix, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("passage %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCrossSectionOrientation(t *testing.T) {
+	v := Passage{Rect: geom.R(10, 0, 20, 100), Vertical: true}
+	if xs := v.CrossSection(); !xs.Horizontal() {
+		t.Error("vertical passage needs a horizontal cross-section")
+	}
+	h := Passage{Rect: geom.R(0, 10, 100, 20), Vertical: false}
+	if xs := h.CrossSection(); !xs.Vertical() {
+		t.Error("horizontal passage needs a vertical cross-section")
+	}
+}

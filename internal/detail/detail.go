@@ -1,0 +1,321 @@
+// Package detail implements the follow-on detailed routing stage sketched
+// in the paper's conclusions:
+//
+//	"A special algorithm has been developed which dynamically assigns
+//	channels based on net interference rather than cell placement. Within
+//	the dynamically assigned channel the subnets can be track-assigned
+//	using standard channel routing algorithms which try to minimize the
+//	number of tracks used."
+//
+// Channels are formed dynamically: wire segments of one orientation whose
+// extents interfere (overlapping spans within a proximity window) are
+// clustered into a channel; cell placement never enters the decision.
+// Within each channel the classical left-edge algorithm assigns tracks,
+// which is optimal (track count equals the maximum overlap density) when no
+// two same-net segments are merged.
+//
+// Experiment C6 times this stage against global routing to test the
+// paper's claim that global routing is always the cheaper phase.
+package detail
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/router"
+)
+
+// Wire is one routed segment tagged with its net.
+type Wire struct {
+	// Net names the owning net.
+	Net string
+	// Seg is the wire geometry (canonical order).
+	Seg geom.Seg
+}
+
+// Channel is a dynamically formed group of parallel wires that interfere.
+type Channel struct {
+	// Horizontal reports the orientation of the member wires.
+	Horizontal bool
+	// Wires lists the member segments.
+	Wires []Wire
+	// Tracks assigns each wire (by index into Wires) to a track.
+	Tracks []int
+	// TrackCount is the number of tracks used.
+	TrackCount int
+	// Span is the bounding box of the member wires.
+	Span geom.Rect
+}
+
+// Result reports a detailed-routing run.
+type Result struct {
+	// Channels lists every dynamic channel (both orientations).
+	Channels []Channel
+	// TotalTracks sums track counts over all channels.
+	TotalTracks int
+	// MaxTracks is the largest single channel's track count.
+	MaxTracks int
+	// Wires is the total number of segments assigned.
+	Wires int
+	// Elapsed is the wall-clock time of channel formation plus track
+	// assignment.
+	Elapsed time.Duration
+}
+
+// Options tunes channel formation.
+type Options struct {
+	// Window is the proximity distance: two parallel wires interfere when
+	// their spans overlap and their cross-coordinates differ by at most
+	// Window. Zero means 8.
+	Window geom.Coord
+}
+
+// Assign forms dynamic channels over a routed layout and track-assigns each
+// one.
+func Assign(lr *router.LayoutResult, opts Options) *Result {
+	start := time.Now()
+	window := opts.Window
+	if window <= 0 {
+		window = 8
+	}
+	var horiz, vert []Wire
+	for i := range lr.Nets {
+		nr := &lr.Nets[i]
+		for _, s := range nr.Segments {
+			s = s.Canon()
+			if s.Degenerate() {
+				continue
+			}
+			if s.Horizontal() {
+				horiz = append(horiz, Wire{Net: nr.Net, Seg: s})
+			} else {
+				vert = append(vert, Wire{Net: nr.Net, Seg: s})
+			}
+		}
+	}
+	res := &Result{}
+	for _, ch := range cluster(horiz, true, window) {
+		res.Channels = append(res.Channels, ch)
+	}
+	for _, ch := range cluster(vert, false, window) {
+		res.Channels = append(res.Channels, ch)
+	}
+	for i := range res.Channels {
+		ch := &res.Channels[i]
+		leftEdge(ch)
+		res.TotalTracks += ch.TrackCount
+		if ch.TrackCount > res.MaxTracks {
+			res.MaxTracks = ch.TrackCount
+		}
+		res.Wires += len(ch.Wires)
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// span returns a wire's interval along the channel axis and its
+// cross-coordinate.
+func span(w Wire, horizontal bool) (lo, hi, cross geom.Coord) {
+	if horizontal {
+		return w.Seg.A.X, w.Seg.B.X, w.Seg.A.Y
+	}
+	return w.Seg.A.Y, w.Seg.B.Y, w.Seg.A.X
+}
+
+// cluster groups wires of one orientation into channels: connected
+// components of the interference relation (span overlap and cross-distance
+// within the window).
+func cluster(wires []Wire, horizontal bool, window geom.Coord) []Channel {
+	n := len(wires)
+	if n == 0 {
+		return nil
+	}
+	// Sort by cross-coordinate so interference checks only scan a sliding
+	// window — this is what makes channel formation cheap.
+	ord := make([]int, n)
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.Slice(ord, func(a, b int) bool {
+		_, _, ca := span(wires[ord[a]], horizontal)
+		_, _, cb := span(wires[ord[b]], horizontal)
+		if ca != cb {
+			return ca < cb
+		}
+		la, _, _ := span(wires[ord[a]], horizontal)
+		lb, _, _ := span(wires[ord[b]], horizontal)
+		return la < lb
+	})
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for a := 0; a < n; a++ {
+		wa := wires[ord[a]]
+		loA, hiA, crossA := span(wa, horizontal)
+		for b := a + 1; b < n; b++ {
+			wb := wires[ord[b]]
+			loB, hiB, crossB := span(wb, horizontal)
+			if crossB-crossA > window {
+				break // sorted: everything further is out of the window
+			}
+			if geom.Overlap1D(loA, hiA, loB, hiB) > 0 {
+				parent[find(ord[a])] = find(ord[b])
+			}
+		}
+	}
+	groups := map[int][]Wire{}
+	for i, w := range wires {
+		groups[find(i)] = append(groups[find(i)], w)
+	}
+	keys := make([]int, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]Channel, 0, len(groups))
+	for _, k := range keys {
+		ws := groups[k]
+		ch := Channel{Horizontal: horizontal, Wires: ws}
+		ch.Span = ws[0].Seg.Bounds()
+		for _, w := range ws[1:] {
+			ch.Span = ch.Span.Union(w.Seg.Bounds())
+		}
+		out = append(out, ch)
+	}
+	return out
+}
+
+// leftEdge performs classical left-edge track assignment within a channel:
+// wires sorted by left end are packed greedily onto the first track whose
+// last wire ends before this one starts. Wires of the same net may abut.
+func leftEdge(ch *Channel) {
+	type byLeft struct {
+		idx    int
+		lo, hi geom.Coord
+		net    string
+	}
+	items := make([]byLeft, len(ch.Wires))
+	for i, w := range ch.Wires {
+		lo, hi, _ := span(w, ch.Horizontal)
+		items[i] = byLeft{idx: i, lo: lo, hi: hi, net: w.Net}
+	}
+	sort.Slice(items, func(a, b int) bool {
+		if items[a].lo != items[b].lo {
+			return items[a].lo < items[b].lo
+		}
+		return items[a].hi < items[b].hi
+	})
+	ch.Tracks = make([]int, len(ch.Wires))
+	type trackEnd struct {
+		hi  geom.Coord
+		net string
+	}
+	var tracks []trackEnd
+	for _, it := range items {
+		placed := false
+		for ti := range tracks {
+			if tracks[ti].hi < it.lo || (tracks[ti].hi == it.lo && tracks[ti].net == it.net) {
+				tracks[ti] = trackEnd{hi: it.hi, net: it.net}
+				ch.Tracks[it.idx] = ti
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			tracks = append(tracks, trackEnd{hi: it.hi, net: it.net})
+			ch.Tracks[it.idx] = len(tracks) - 1
+		}
+	}
+	ch.TrackCount = len(tracks)
+}
+
+// MaxDensity returns the maximum number of wires in a channel that overlap
+// at any single coordinate — the lower bound on track count.
+func MaxDensity(ch *Channel) int {
+	type event struct {
+		at    geom.Coord
+		delta int
+	}
+	var events []event
+	for _, w := range ch.Wires {
+		lo, hi, _ := span(w, ch.Horizontal)
+		events = append(events, event{lo, +1}, event{hi + 1, -1})
+	}
+	sort.Slice(events, func(a, b int) bool {
+		if events[a].at != events[b].at {
+			return events[a].at < events[b].at
+		}
+		return events[a].delta < events[b].delta
+	})
+	cur, best := 0, 0
+	for _, e := range events {
+		cur += e.delta
+		if cur > best {
+			best = cur
+		}
+	}
+	return best
+}
+
+// LayerAssignment is the classical two-layer HV discipline the paper's
+// "detailed routing and layer assignment" phase implies: horizontal wires
+// on one layer, vertical wires on the other, a via at every layer change
+// along a net's tree.
+type LayerAssignment struct {
+	// HorizontalWires and VerticalWires count the segments per layer.
+	HorizontalWires, VerticalWires int
+	// Vias counts the layer changes: one at every point where a net's
+	// horizontal and vertical segments meet.
+	Vias int
+	// ViasByNet records per-net via counts, keyed by net name.
+	ViasByNet map[string]int
+}
+
+// AssignLayers applies the HV discipline to a routed layout. A via is
+// charged at every distinct point where a horizontal and a vertical segment
+// of the same net touch (tree junctions included).
+func AssignLayers(lr *router.LayoutResult) *LayerAssignment {
+	la := &LayerAssignment{ViasByNet: map[string]int{}}
+	for i := range lr.Nets {
+		nr := &lr.Nets[i]
+		var hs, vs []geom.Seg
+		for _, s := range nr.Segments {
+			s = s.Canon()
+			if s.Degenerate() {
+				continue
+			}
+			if s.Horizontal() {
+				hs = append(hs, s)
+			} else {
+				vs = append(vs, s)
+			}
+		}
+		la.HorizontalWires += len(hs)
+		la.VerticalWires += len(vs)
+		viaAt := map[geom.Point]bool{}
+		for _, h := range hs {
+			for _, v := range vs {
+				if !h.Intersects(v) {
+					continue
+				}
+				ov := h.Bounds().Intersection(v.Bounds())
+				viaAt[geom.Pt(ov.MinX, ov.MinY)] = true
+			}
+		}
+		if len(viaAt) > 0 {
+			la.ViasByNet[nr.Net] += len(viaAt)
+			la.Vias += len(viaAt)
+		}
+	}
+	return la
+}

@@ -1,0 +1,287 @@
+package detail
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/plane"
+	"repro/internal/router"
+)
+
+func hw(net string, y, x0, x1 geom.Coord) Wire {
+	return Wire{Net: net, Seg: geom.S(geom.Pt(x0, y), geom.Pt(x1, y))}
+}
+
+func TestClusterSeparatesDistantWires(t *testing.T) {
+	wires := []Wire{
+		hw("a", 10, 0, 50),
+		hw("b", 12, 20, 80), // within window 8 of y=10 and overlapping: same channel
+		hw("c", 90, 0, 50),  // far away: own channel
+	}
+	chans := cluster(wires, true, 8)
+	if len(chans) != 2 {
+		t.Fatalf("want 2 channels, got %d", len(chans))
+	}
+	sizes := []int{len(chans[0].Wires), len(chans[1].Wires)}
+	if !(sizes[0] == 2 && sizes[1] == 1) && !(sizes[0] == 1 && sizes[1] == 2) {
+		t.Fatalf("channel sizes = %v", sizes)
+	}
+}
+
+func TestClusterRequiresOverlap(t *testing.T) {
+	// Close in y but disjoint in x: no interference, two channels.
+	wires := []Wire{
+		hw("a", 10, 0, 20),
+		hw("b", 11, 30, 50),
+	}
+	chans := cluster(wires, true, 8)
+	if len(chans) != 2 {
+		t.Fatalf("non-overlapping wires must not share a channel: %d", len(chans))
+	}
+}
+
+func TestClusterTransitive(t *testing.T) {
+	// a-b interfere, b-c interfere, a-c don't directly: one channel.
+	wires := []Wire{
+		hw("a", 10, 0, 30),
+		hw("b", 14, 20, 60),
+		hw("c", 18, 50, 90),
+	}
+	chans := cluster(wires, true, 8)
+	if len(chans) != 1 || len(chans[0].Wires) != 3 {
+		t.Fatalf("interference must be transitive: %+v", chans)
+	}
+}
+
+func TestLeftEdgeTrackCounts(t *testing.T) {
+	// Three mutually overlapping distinct-net wires: 3 tracks.
+	ch := Channel{Horizontal: true, Wires: []Wire{
+		hw("a", 10, 0, 50), hw("b", 12, 10, 60), hw("c", 14, 20, 70),
+	}}
+	leftEdge(&ch)
+	if ch.TrackCount != 3 {
+		t.Fatalf("tracks = %d, want 3", ch.TrackCount)
+	}
+	if d := MaxDensity(&ch); d != 3 {
+		t.Fatalf("density = %d, want 3", d)
+	}
+	// Disjoint wires pack into one track.
+	ch2 := Channel{Horizontal: true, Wires: []Wire{
+		hw("a", 10, 0, 10), hw("b", 12, 20, 30), hw("c", 14, 40, 50),
+	}}
+	leftEdge(&ch2)
+	if ch2.TrackCount != 1 {
+		t.Fatalf("disjoint wires should share a track: %d", ch2.TrackCount)
+	}
+}
+
+func TestLeftEdgeSameNetAbutment(t *testing.T) {
+	// Same-net wires touching at an endpoint may share a track; distinct
+	// nets may not.
+	same := Channel{Horizontal: true, Wires: []Wire{
+		hw("n", 10, 0, 20), hw("n", 12, 20, 40),
+	}}
+	leftEdge(&same)
+	if same.TrackCount != 1 {
+		t.Fatalf("same-net abutment should share: %d", same.TrackCount)
+	}
+	diff := Channel{Horizontal: true, Wires: []Wire{
+		hw("n", 10, 0, 20), hw("m", 12, 20, 40),
+	}}
+	leftEdge(&diff)
+	if diff.TrackCount != 2 {
+		t.Fatalf("distinct-net abutment must not share: %d", diff.TrackCount)
+	}
+}
+
+func TestLeftEdgeMatchesDensity(t *testing.T) {
+	// For all-distinct nets left-edge is optimal: track count == density.
+	var wires []Wire
+	spans := [][2]geom.Coord{{0, 30}, {10, 50}, {40, 80}, {60, 90}, {5, 85}, {31, 39}}
+	for i, s := range spans {
+		wires = append(wires, hw(fmt.Sprintf("n%d", i), geom.Coord(10+i), s[0], s[1]))
+	}
+	ch := Channel{Horizontal: true, Wires: wires}
+	leftEdge(&ch)
+	if ch.TrackCount != MaxDensity(&ch) {
+		t.Fatalf("left-edge should be optimal: tracks=%d density=%d", ch.TrackCount, MaxDensity(&ch))
+	}
+}
+
+// TestAssignEndToEnd routes a small layout and track-assigns it, then
+// verifies the assignment is legal: within a channel no two distinct-net
+// wires on the same track overlap.
+func TestAssignEndToEnd(t *testing.T) {
+	l := &layout.Layout{
+		Name:   "detail",
+		Bounds: geom.R(0, 0, 200, 200),
+		Cells: []layout.Cell{
+			{Name: "A", Box: geom.R(40, 40, 80, 160)},
+			{Name: "B", Box: geom.R(120, 40, 160, 160)},
+		},
+	}
+	for i := 0; i < 6; i++ {
+		y := geom.Coord(50 + 20*i)
+		l.Nets = append(l.Nets, layout.Net{
+			Name: fmt.Sprintf("bus%d", i),
+			Terminals: []layout.Terminal{
+				{Name: "a", Pins: []layout.Pin{{Name: "p", Pos: geom.Pt(80, y), Cell: 0}}},
+				{Name: "b", Pins: []layout.Pin{{Name: "p", Pos: geom.Pt(120, y), Cell: 1}}},
+			},
+		})
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := plane.FromLayout(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, err := router.New(ix, router.Options{}).RouteLayout(l, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lr.Failed) != 0 {
+		t.Fatalf("failures: %v", lr.Failed)
+	}
+	// Window 25 chains the 20-apart bus wires into one dynamic channel.
+	res := Assign(lr, Options{Window: 25})
+	if res.Wires == 0 || res.TotalTracks == 0 {
+		t.Fatalf("nothing assigned: %+v", res)
+	}
+	for ci, ch := range res.Channels {
+		if len(ch.Tracks) != len(ch.Wires) {
+			t.Fatalf("channel %d: %d wires but %d track entries", ci, len(ch.Wires), len(ch.Tracks))
+		}
+		for i := 0; i < len(ch.Wires); i++ {
+			for j := i + 1; j < len(ch.Wires); j++ {
+				if ch.Tracks[i] != ch.Tracks[j] {
+					continue
+				}
+				if ch.Wires[i].Net == ch.Wires[j].Net {
+					continue
+				}
+				li, hi, _ := span(ch.Wires[i], ch.Horizontal)
+				lj, hj, _ := span(ch.Wires[j], ch.Horizontal)
+				if geom.Overlap1D(li, hi, lj, hj) > 0 {
+					t.Fatalf("channel %d: overlapping distinct nets %s/%s share track %d",
+						ci, ch.Wires[i].Net, ch.Wires[j].Net, ch.Tracks[i])
+				}
+			}
+		}
+	}
+	// The six parallel bus wires between the cells interfere and need
+	// several tracks in the gap channel.
+	if res.MaxTracks < 2 {
+		t.Fatalf("bus should need multiple tracks, got max %d", res.MaxTracks)
+	}
+}
+
+func TestAssignEmptyResult(t *testing.T) {
+	res := Assign(&router.LayoutResult{}, Options{})
+	if res.Wires != 0 || len(res.Channels) != 0 {
+		t.Fatalf("empty input should produce empty result: %+v", res)
+	}
+}
+
+// TestLeftEdgeLegalityProperty: on random wire sets, every channel's
+// assignment must be legal and, when all nets are distinct, track count
+// must equal the density lower bound (left-edge optimality).
+func TestLeftEdgeLegalityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var wires []Wire
+		n := r.Intn(30) + 2
+		for i := 0; i < n; i++ {
+			lo := geom.Coord(r.Intn(200))
+			hi := lo + 1 + geom.Coord(r.Intn(60))
+			y := geom.Coord(r.Intn(40))
+			wires = append(wires, Wire{
+				Net: fmt.Sprintf("n%d", i), // all distinct
+				Seg: geom.S(geom.Pt(lo, y), geom.Pt(hi, y)),
+			})
+		}
+		for _, ch := range cluster(wires, true, 50) {
+			leftEdge(&ch)
+			if ch.TrackCount != MaxDensity(&ch) {
+				t.Logf("seed %d: tracks %d != density %d", seed, ch.TrackCount, MaxDensity(&ch))
+				return false
+			}
+			for i := 0; i < len(ch.Wires); i++ {
+				for j := i + 1; j < len(ch.Wires); j++ {
+					if ch.Tracks[i] != ch.Tracks[j] {
+						continue
+					}
+					li, hi, _ := span(ch.Wires[i], true)
+					lj, hj, _ := span(ch.Wires[j], true)
+					if geom.Overlap1D(li, hi, lj, hj) > 0 {
+						t.Logf("seed %d: overlap on shared track", seed)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssignLayers(t *testing.T) {
+	lr := &router.LayoutResult{Nets: []router.NetRoute{
+		{
+			Net: "a", // L-shaped route: one via at the bend
+			Segments: []geom.Seg{
+				geom.S(geom.Pt(0, 0), geom.Pt(10, 0)),
+				geom.S(geom.Pt(10, 0), geom.Pt(10, 10)),
+			},
+		},
+		{
+			Net: "b", // straight: no via
+			Segments: []geom.Seg{
+				geom.S(geom.Pt(20, 0), geom.Pt(40, 0)),
+			},
+		},
+		{
+			Net: "t", // T junction: trunk + stem = one via at the tap
+			Segments: []geom.Seg{
+				geom.S(geom.Pt(0, 20), geom.Pt(30, 20)),
+				geom.S(geom.Pt(15, 20), geom.Pt(15, 40)),
+			},
+		},
+	}}
+	la := AssignLayers(lr)
+	if la.HorizontalWires != 3 || la.VerticalWires != 2 {
+		t.Fatalf("wire split = %d/%d", la.HorizontalWires, la.VerticalWires)
+	}
+	if la.Vias != 2 {
+		t.Fatalf("vias = %d, want 2", la.Vias)
+	}
+	if la.ViasByNet["a"] != 1 || la.ViasByNet["b"] != 0 || la.ViasByNet["t"] != 1 {
+		t.Fatalf("per-net vias wrong: %v", la.ViasByNet)
+	}
+}
+
+func TestAssignLayersStaircase(t *testing.T) {
+	// A 4-bend staircase needs 4 vias.
+	var segs []geom.Seg
+	p := geom.Pt(0, 0)
+	for i := 0; i < 4; i++ {
+		q := p.Add(geom.Pt(10, 0))
+		segs = append(segs, geom.S(p, q))
+		p = q
+		q = p.Add(geom.Pt(0, 10))
+		segs = append(segs, geom.S(p, q))
+		p = q
+	}
+	la := AssignLayers(&router.LayoutResult{Nets: []router.NetRoute{{Net: "s", Segments: segs}}})
+	// Each of the 7 interior junctions alternates H/V: 7 vias.
+	if la.Vias != 7 {
+		t.Fatalf("vias = %d, want 7", la.Vias)
+	}
+}

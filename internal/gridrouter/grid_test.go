@@ -1,0 +1,374 @@
+package gridrouter
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/plane"
+	"repro/internal/router"
+	"repro/internal/search"
+)
+
+func oneCell(t testing.TB) *plane.Index {
+	t.Helper()
+	ix, err := plane.New(geom.R(0, 0, 100, 100), []geom.Rect{geom.R(40, 40, 60, 60)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestFromPlaneRasterization(t *testing.T) {
+	g, err := FromPlane(oneCell(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, h := g.Size(); w != 101 || h != 101 {
+		t.Fatalf("size = %dx%d", w, h)
+	}
+	// Strict interior blocked, boundary free.
+	if !g.Blocked(50, 50) {
+		t.Error("cell interior should be blocked")
+	}
+	if g.Blocked(40, 50) || g.Blocked(60, 50) || g.Blocked(50, 40) || g.Blocked(50, 60) {
+		t.Error("cell boundary should be free")
+	}
+	if g.Blocked(41, 41) == false {
+		t.Error("(41,41) is strictly inside")
+	}
+	if g.Blocked(39, 50) {
+		t.Error("(39,50) is outside")
+	}
+}
+
+func TestFromPlaneErrors(t *testing.T) {
+	ix := oneCell(t)
+	if _, err := FromPlane(ix, 0); err == nil {
+		t.Error("zero pitch must fail")
+	}
+	if _, err := FromPlane(ix, 3); err == nil {
+		t.Error("pitch not dividing bounds must fail")
+	}
+	if _, err := FromPlane(ix, 2); err != nil {
+		t.Errorf("pitch 2 divides 100: %v", err)
+	}
+}
+
+func TestSnap(t *testing.T) {
+	g, _ := FromPlane(oneCell(t), 2)
+	i, j, err := g.Snap(geom.Pt(10, 20))
+	if err != nil || i != 5 || j != 10 {
+		t.Fatalf("Snap = %d,%d,%v", i, j, err)
+	}
+	if _, _, err := g.Snap(geom.Pt(11, 20)); err == nil {
+		t.Error("off-grid point must fail at pitch 2")
+	}
+	if _, _, err := g.Snap(geom.Pt(-2, 0)); err == nil {
+		t.Error("outside point must fail")
+	}
+}
+
+func TestLeeMooreStraight(t *testing.T) {
+	g, _ := FromPlane(oneCell(t), 1)
+	res, err := g.LeeMoore(geom.Pt(0, 0), geom.Pt(10, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.Length != 10 {
+		t.Fatalf("straight route: %+v", res)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("straight path should simplify to 2 points: %v", res.Points)
+	}
+}
+
+func TestLeeMooreDetourOptimal(t *testing.T) {
+	g, _ := FromPlane(oneCell(t), 1)
+	res, err := g.LeeMoore(geom.Pt(30, 50), geom.Pt(70, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.Length != 60 {
+		t.Fatalf("detour should be 60: %+v", res)
+	}
+}
+
+func TestLeeMooreEndpointInObstacle(t *testing.T) {
+	g, _ := FromPlane(oneCell(t), 1)
+	if _, err := g.LeeMoore(geom.Pt(50, 50), geom.Pt(0, 0)); err == nil {
+		t.Error("interior endpoint must fail")
+	}
+	if _, err := g.LeeMoore(geom.Pt(0.5e1, 3), geom.Pt(200, 0)); err == nil {
+		t.Error("out-of-grid endpoint must fail")
+	}
+}
+
+func TestLeeMooreUnreachable(t *testing.T) {
+	// plane.New does not require cell separation, so a sealed ring can be
+	// built directly: four overlapping walls around the center.
+	ix, err := plane.New(geom.R(0, 0, 40, 40), []geom.Rect{
+		geom.R(10, 10, 30, 14), // bottom
+		geom.R(10, 26, 30, 30), // top
+		geom.R(10, 10, 14, 30), // left
+		geom.R(26, 10, 30, 30), // right
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := FromPlane(ix, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.LeeMoore(geom.Pt(20, 20), geom.Pt(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Fatal("sealed target should be unreachable")
+	}
+	// The gridless router must agree (finite event space exhausts).
+	r := router.New(ix, router.Options{})
+	route, err := r.RoutePoints(geom.Pt(20, 20), geom.Pt(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if route.Found {
+		t.Fatal("gridless router must also report unreachable")
+	}
+}
+
+// TestLeeMooreIsSpecialCaseOfSearch is experiment C1: the framework
+// configured with grid successors and no heuristic must return the same
+// optimal length as the classic wavefront, for all strategies that
+// guarantee optimality on unit grids.
+func TestLeeMooreIsSpecialCaseOfSearch(t *testing.T) {
+	g, _ := FromPlane(oneCell(t), 1)
+	from, to := geom.Pt(30, 50), geom.Pt(70, 50)
+	wave, err := g.LeeMoore(from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range []search.Strategy{search.BreadthFirst, search.BestFirst, search.AStar} {
+		res, err := g.Route(from, to, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found || res.Length != wave.Length {
+			t.Errorf("%v: length %d != wavefront %d", st, res.Length, wave.Length)
+		}
+	}
+	// And the blind framework search does comparable work to the wavefront
+	// (same order of magnitude of labelled cells).
+	bfs, _ := g.Route(from, to, search.BreadthFirst)
+	if bfs.Stats.Expanded < wave.Stats.Expanded/2 || bfs.Stats.Expanded > wave.Stats.Expanded*2 {
+		t.Errorf("BFS expanded %d vs wavefront %d; should be comparable",
+			bfs.Stats.Expanded, wave.Stats.Expanded)
+	}
+}
+
+// TestGridAStarBeatsBlind: the heuristic cuts grid expansions without
+// changing the length — the paper's first efficiency observation.
+func TestGridAStarBeatsBlind(t *testing.T) {
+	g, _ := FromPlane(oneCell(t), 1)
+	from, to := geom.Pt(5, 50), geom.Pt(95, 50)
+	astar, err := g.Route(from, to, search.AStar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blind, err := g.Route(from, to, search.BestFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if astar.Length != blind.Length {
+		t.Fatalf("lengths differ: %d vs %d", astar.Length, blind.Length)
+	}
+	if astar.Stats.Expanded >= blind.Stats.Expanded {
+		t.Fatalf("A* (%d) should expand fewer nodes than blind search (%d)",
+			astar.Stats.Expanded, blind.Stats.Expanded)
+	}
+}
+
+// randomScene builds a random integer layout and two free endpoints.
+func randomScene(seed int64) (*plane.Index, geom.Point, geom.Point, bool) {
+	r := rand.New(rand.NewSource(seed))
+	bounds := geom.R(0, 0, 64, 64)
+	var rects []geom.Rect
+	for try := 0; try < 40 && len(rects) < 7; try++ {
+		x, y := int64(r.Intn(50)+2), int64(r.Intn(50)+2)
+		w, h := int64(r.Intn(14)+3), int64(r.Intn(14)+3)
+		c := geom.R(x, y, geom.Min(x+w, 62), geom.Min(y+h, 62))
+		if c.Width() <= 0 || c.Height() <= 0 {
+			continue
+		}
+		ok := true
+		for _, e := range rects {
+			// Keep the paper's non-zero separation.
+			if c.Inflate(1).Intersects(e) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			rects = append(rects, c)
+		}
+	}
+	ix, err := plane.New(bounds, rects)
+	if err != nil {
+		return nil, geom.Point{}, geom.Point{}, false
+	}
+	freePoint := func() (geom.Point, bool) {
+		for try := 0; try < 100; try++ {
+			p := geom.Pt(int64(r.Intn(65)), int64(r.Intn(65)))
+			if _, blocked := ix.PointBlocked(p); !blocked {
+				return p, true
+			}
+		}
+		return geom.Point{}, false
+	}
+	a, ok1 := freePoint()
+	b, ok2 := freePoint()
+	return ix, a, b, ok1 && ok2
+}
+
+// TestGridlessMatchesLeeMooreOptimum is experiment A1, the admissibility
+// property: on random integer layouts the gridless A* route length equals
+// the Lee–Moore optimum.
+func TestGridlessMatchesLeeMooreOptimum(t *testing.T) {
+	f := func(seed int64) bool {
+		ix, a, b, ok := randomScene(seed)
+		if !ok {
+			return true
+		}
+		g, err := FromPlane(ix, 1)
+		if err != nil {
+			return false
+		}
+		wave, err := g.LeeMoore(a, b)
+		if err != nil {
+			return false
+		}
+		r := router.New(ix, router.Options{})
+		route, err := r.RoutePoints(a, b)
+		if err != nil {
+			return false
+		}
+		if wave.Found != route.Found {
+			t.Logf("seed %d: found mismatch %v vs %v (%v->%v)", seed, wave.Found, route.Found, a, b)
+			return false
+		}
+		if !wave.Found {
+			return true
+		}
+		if wave.Length != route.Length {
+			t.Logf("seed %d: Lee-Moore %d vs gridless %d (%v->%v)", seed, wave.Length, route.Length, a, b)
+			return false
+		}
+		// And the gridless search must be dramatically cheaper.
+		if route.Stats.Expanded > wave.Stats.Expanded && wave.Stats.Expanded > 50 {
+			t.Logf("seed %d: gridless expanded %d vs grid %d", seed, route.Stats.Expanded, wave.Stats.Expanded)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLeeMoore(b *testing.B) {
+	g, err := FromPlane(mustPlane(b), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.LeeMoore(geom.Pt(5, 50), geom.Pt(95, 50)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGridAStar(b *testing.B) {
+	g, err := FromPlane(mustPlane(b), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Route(geom.Pt(5, 50), geom.Pt(95, 50), search.AStar); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func mustPlane(tb testing.TB) *plane.Index {
+	tb.Helper()
+	ix, err := plane.New(geom.R(0, 0, 100, 100), []geom.Rect{geom.R(40, 40, 60, 60)})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return ix
+}
+
+// TestCornerProjectionRegression pins the exact scene that exposed the need
+// for visible corner-track projections in the successor generator: with
+// goal-ward rays and boundary hugging alone, the route from (12,18) to
+// (56,43) came out 4 units long (73 instead of 69) because the optimal
+// route must turn at (49,18) — the projection of an obstacle corner onto
+// the first ray — which is not a collision point, an alignment point, or a
+// hug endpoint.
+func TestCornerProjectionRegression(t *testing.T) {
+	ix, err := plane.New(geom.R(0, 0, 64, 64), []geom.Rect{
+		geom.R(16, 44, 27, 59),
+		geom.R(32, 31, 42, 45),
+		geom.R(38, 4, 42, 16),
+		geom.R(31, 51, 47, 62),
+		geom.R(49, 23, 62, 28),
+		geom.R(12, 22, 27, 28),
+		geom.R(3, 40, 14, 48),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	from, to := geom.Pt(12, 18), geom.Pt(56, 43)
+	r := router.New(ix, router.Options{})
+	route, err := r.RoutePoints(from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !route.Found || route.Length != 69 {
+		t.Fatalf("length = %d, want the optimal 69 (route %v)", route.Length, route.Points)
+	}
+	g, err := FromPlane(ix, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wave, err := g.LeeMoore(from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wave.Length != route.Length {
+		t.Fatalf("disagrees with Lee-Moore: %d vs %d", route.Length, wave.Length)
+	}
+}
+
+// TestPitchTwoRouting exercises the non-unit-pitch grid path.
+func TestPitchTwoRouting(t *testing.T) {
+	g, err := FromPlane(mustPlane(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.LeeMoore(geom.Pt(30, 50), geom.Pt(70, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.Length != 60 {
+		t.Fatalf("pitch-2 route: %+v", res)
+	}
+	// Odd coordinates are off-grid at pitch 2.
+	if _, err := g.LeeMoore(geom.Pt(31, 50), geom.Pt(70, 50)); err == nil {
+		t.Fatal("off-grid endpoint must fail at pitch 2")
+	}
+}

@@ -1,0 +1,403 @@
+// Package layout models a general-cell (building-block) layout: rectangular
+// macro cells placed on a routing plane, pins on cell boundaries, multi-pin
+// terminals and multi-terminal nets.
+//
+// The paper places three restrictions on block placement, which Validate
+// enforces:
+//
+//  1. blocks must be rectangular,
+//  2. oriented orthogonally (both are guaranteed by construction — a Cell is
+//     an axis-aligned geom.Rect),
+//  3. placed a finite and non-zero distance apart (cells must not touch or
+//     overlap).
+//
+// During global routing an unlimited number of wires may pass between any
+// two cells; congestion is handled afterwards (package congest).
+package layout
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/polygon"
+)
+
+// CellID indexes a cell within a Layout. NoCell marks pins that belong to
+// the chip boundary (pads) rather than to a placed cell.
+type CellID int
+
+// NoCell marks a pad pin with no owning cell.
+const NoCell CellID = -1
+
+// Cell is a placed block (macro). The common case is rectangular (Box);
+// the paper's orthogonal-polygon extension is supported by setting Poly to
+// the outline's vertex ring, in which case Box must be the polygon's
+// bounding box (Validate fills it in when left zero).
+type Cell struct {
+	// Name identifies the cell for reports; it must be unique in a layout.
+	Name string `json:"name"`
+	// Box is the cell's outline (bounding box when Poly is set). Routes
+	// may touch the boundary but never cross the interior.
+	Box geom.Rect `json:"box"`
+	// Poly, when non-empty, is the orthogonal-polygon outline vertex ring.
+	Poly []geom.Point `json:"poly,omitempty"`
+}
+
+// Polygon returns the cell outline as a polygon (rectangular cells yield
+// their 4-corner ring).
+func (c *Cell) Polygon() polygon.Poly {
+	if len(c.Poly) > 0 {
+		return polygon.Poly{Vertices: c.Poly}
+	}
+	return polygon.FromRect(c.Box)
+}
+
+// ObstacleRects returns the rectangles to index for routing: the box for a
+// rectangular cell, the double decomposition for a polygon cell.
+func (c *Cell) ObstacleRects() []geom.Rect {
+	if len(c.Poly) == 0 {
+		return []geom.Rect{c.Box}
+	}
+	return c.Polygon().ObstacleRects()
+}
+
+// Area returns the outline area.
+func (c *Cell) Area() geom.Coord {
+	if len(c.Poly) == 0 {
+		return c.Box.Area()
+	}
+	return c.Polygon().Area()
+}
+
+// Pin is a connection point. Pins sit on the boundary of their owning cell
+// (or anywhere outside all cell interiors for pad pins).
+type Pin struct {
+	// Name identifies the pin within its terminal.
+	Name string `json:"name"`
+	// Pos is the pin location.
+	Pos geom.Point `json:"pos"`
+	// Cell is the owning cell, or NoCell for a pad.
+	Cell CellID `json:"cell"`
+}
+
+// Terminal is a logical connection target. The paper's multi-pin terminals
+// group several electrically equivalent pins: connecting any one pin
+// connects the terminal, and all of its pins join the connected set as
+// future attachment points.
+type Terminal struct {
+	// Name identifies the terminal within its net.
+	Name string `json:"name"`
+	// Pins lists the electrically equivalent pins (at least one).
+	Pins []Pin `json:"pins"`
+}
+
+// Net is a set of terminals that must be electrically connected. Nets with
+// more than two terminals are routed as approximate Steiner trees.
+type Net struct {
+	// Name identifies the net; it must be unique in a layout.
+	Name string `json:"name"`
+	// Terminals lists the connection targets (at least two for a routable
+	// net).
+	Terminals []Terminal `json:"terminals"`
+}
+
+// PinCount returns the total number of pins across all terminals.
+func (n *Net) PinCount() int {
+	total := 0
+	for _, t := range n.Terminals {
+		total += len(t.Pins)
+	}
+	return total
+}
+
+// AllPins returns every pin of the net in terminal order.
+func (n *Net) AllPins() []Pin {
+	pins := make([]Pin, 0, n.PinCount())
+	for _, t := range n.Terminals {
+		pins = append(pins, t.Pins...)
+	}
+	return pins
+}
+
+// Layout is a complete general-cell routing problem: the routing area, the
+// placed cells and the nets to connect.
+type Layout struct {
+	// Name labels the layout in reports.
+	Name string `json:"name"`
+	// Bounds is the routing area. All cells and pins must lie within it.
+	Bounds geom.Rect `json:"bounds"`
+	// Cells are the placed blocks.
+	Cells []Cell `json:"cells"`
+	// Nets are the connection requirements.
+	Nets []Net `json:"nets"`
+}
+
+// Cell returns the cell with the given id. It panics on NoCell or an
+// out-of-range id, which always indicates a programming error.
+func (l *Layout) Cell(id CellID) *Cell {
+	return &l.Cells[id]
+}
+
+// TwoPin reports whether every net has exactly two terminals with one pin
+// each (the simplest routing regime).
+func (l *Layout) TwoPin() bool {
+	for i := range l.Nets {
+		n := &l.Nets[i]
+		if len(n.Terminals) != 2 {
+			return false
+		}
+		for _, t := range n.Terminals {
+			if len(t.Pins) != 1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Validate checks the paper's placement restrictions and basic
+// well-formedness. It returns the first violation found, or nil.
+func (l *Layout) Validate() error {
+	if !l.Bounds.IsValid() || l.Bounds.Width() <= 0 || l.Bounds.Height() <= 0 {
+		return fmt.Errorf("layout %q: bounds %v must have positive area", l.Name, l.Bounds)
+	}
+	names := make(map[string]bool, len(l.Cells))
+	for i := range l.Cells {
+		c := &l.Cells[i]
+		if c.Name == "" {
+			return fmt.Errorf("layout %q: cell %d has no name", l.Name, i)
+		}
+		if names[c.Name] {
+			return fmt.Errorf("layout %q: duplicate cell name %q", l.Name, c.Name)
+		}
+		names[c.Name] = true
+		if len(c.Poly) > 0 {
+			p := c.Polygon()
+			if err := p.Validate(); err != nil {
+				return fmt.Errorf("cell %q: %w", c.Name, err)
+			}
+			bb := p.Bounds()
+			if c.Box == (geom.Rect{}) {
+				c.Box = bb // fill in the bounding box for a bare polygon
+			} else if c.Box != bb {
+				return fmt.Errorf("cell %q: box %v does not match polygon bounds %v", c.Name, c.Box, bb)
+			}
+		}
+		if !c.Box.IsValid() || c.Box.Width() <= 0 || c.Box.Height() <= 0 {
+			return fmt.Errorf("cell %q: box %v must have positive area", c.Name, c.Box)
+		}
+		if !l.Bounds.ContainsRect(c.Box) {
+			return fmt.Errorf("cell %q: box %v outside bounds %v", c.Name, c.Box, l.Bounds)
+		}
+	}
+	// Restriction 3: finite, non-zero inter-cell distance. Touching
+	// boundaries leave no room for wire and are rejected. The check is
+	// exact for polygon cells (their decomposed rectangles), so two
+	// interlocking L-shapes with a positive gap are legal even when their
+	// bounding boxes overlap.
+	for i := range l.Cells {
+		ri := l.Cells[i].ObstacleRects()
+		for j := i + 1; j < len(l.Cells); j++ {
+			for _, a := range ri {
+				for _, b := range l.Cells[j].ObstacleRects() {
+					if a.Intersects(b) {
+						return fmt.Errorf("cells %q and %q touch or overlap; the paper requires non-zero separation",
+							l.Cells[i].Name, l.Cells[j].Name)
+					}
+				}
+			}
+		}
+	}
+	netNames := make(map[string]bool, len(l.Nets))
+	for i := range l.Nets {
+		n := &l.Nets[i]
+		if n.Name == "" {
+			return fmt.Errorf("layout %q: net %d has no name", l.Name, i)
+		}
+		if netNames[n.Name] {
+			return fmt.Errorf("layout %q: duplicate net name %q", l.Name, n.Name)
+		}
+		netNames[n.Name] = true
+		if len(n.Terminals) < 2 {
+			return fmt.Errorf("net %q: needs at least two terminals, has %d", n.Name, len(n.Terminals))
+		}
+		for ti := range n.Terminals {
+			t := &n.Terminals[ti]
+			if len(t.Pins) == 0 {
+				return fmt.Errorf("net %q terminal %q: has no pins", n.Name, t.Name)
+			}
+			for _, p := range t.Pins {
+				if err := l.validatePin(n, t, p); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// validatePin checks a single pin's placement.
+func (l *Layout) validatePin(n *Net, t *Terminal, p Pin) error {
+	if !l.Bounds.Contains(p.Pos) {
+		return fmt.Errorf("net %q terminal %q pin %q: %v outside bounds %v",
+			n.Name, t.Name, p.Name, p.Pos, l.Bounds)
+	}
+	if p.Cell != NoCell {
+		if int(p.Cell) < 0 || int(p.Cell) >= len(l.Cells) {
+			return fmt.Errorf("net %q terminal %q pin %q: cell id %d out of range",
+				n.Name, t.Name, p.Name, p.Cell)
+		}
+		if !l.Cells[p.Cell].Polygon().OnBoundary(p.Pos) {
+			return fmt.Errorf("net %q terminal %q pin %q: %v must lie on the boundary of cell %q",
+				n.Name, t.Name, p.Name, p.Pos, l.Cells[p.Cell].Name)
+		}
+	}
+	// No pin may sit strictly inside any cell: the router could never
+	// reach it.
+	for i := range l.Cells {
+		if CellID(i) == p.Cell {
+			continue
+		}
+		if l.Cells[i].Polygon().ContainsStrict(p.Pos) {
+			return fmt.Errorf("net %q terminal %q pin %q: %v strictly inside cell %q",
+				n.Name, t.Name, p.Name, p.Pos, l.Cells[i].Name)
+		}
+	}
+	return nil
+}
+
+// MinSeparation returns the smallest Manhattan gap between any two cells,
+// or -1 when the layout has fewer than two cells. It is the "finite and
+// non-zero distance" of the paper's third restriction, and the congestion
+// model's capacity scale.
+func (l *Layout) MinSeparation() geom.Coord {
+	if len(l.Cells) < 2 {
+		return -1
+	}
+	min := geom.Coord(-1)
+	for i := range l.Cells {
+		ri := l.Cells[i].ObstacleRects()
+		for j := i + 1; j < len(l.Cells); j++ {
+			for _, a := range ri {
+				for _, b := range l.Cells[j].ObstacleRects() {
+					d := rectGap(a, b)
+					if min < 0 || d < min {
+						min = d
+					}
+				}
+			}
+		}
+	}
+	return min
+}
+
+// rectGap returns the Manhattan gap between two disjoint rectangles (zero if
+// they touch).
+func rectGap(a, b geom.Rect) geom.Coord {
+	dx := geom.Coord(0)
+	if a.MaxX < b.MinX {
+		dx = b.MinX - a.MaxX
+	} else if b.MaxX < a.MinX {
+		dx = a.MinX - b.MaxX
+	}
+	dy := geom.Coord(0)
+	if a.MaxY < b.MinY {
+		dy = b.MinY - a.MaxY
+	} else if b.MaxY < a.MinY {
+		dy = a.MinY - b.MaxY
+	}
+	return dx + dy
+}
+
+// Stats summarizes a layout for reports.
+type Stats struct {
+	Cells, Nets, Terminals, Pins int
+	// CellArea is the total cell area; Utilization is CellArea over the
+	// bounds area in percent.
+	CellArea    geom.Coord
+	Utilization float64
+}
+
+// Summary computes layout statistics.
+func (l *Layout) Summary() Stats {
+	var s Stats
+	s.Cells = len(l.Cells)
+	s.Nets = len(l.Nets)
+	for i := range l.Nets {
+		s.Terminals += len(l.Nets[i].Terminals)
+		s.Pins += l.Nets[i].PinCount()
+	}
+	for i := range l.Cells {
+		s.CellArea += l.Cells[i].Area()
+	}
+	if a := l.Bounds.Area(); a > 0 {
+		s.Utilization = 100 * float64(s.CellArea) / float64(a)
+	}
+	return s
+}
+
+// Clone returns a deep copy of the layout.
+func (l *Layout) Clone() *Layout {
+	out := &Layout{Name: l.Name, Bounds: l.Bounds}
+	out.Cells = make([]Cell, len(l.Cells))
+	for i, c := range l.Cells {
+		out.Cells[i] = Cell{Name: c.Name, Box: c.Box, Poly: append([]geom.Point(nil), c.Poly...)}
+	}
+	out.Nets = make([]Net, len(l.Nets))
+	for i := range l.Nets {
+		n := l.Nets[i]
+		cp := Net{Name: n.Name, Terminals: make([]Terminal, len(n.Terminals))}
+		for j := range n.Terminals {
+			t := n.Terminals[j]
+			cp.Terminals[j] = Terminal{Name: t.Name, Pins: append([]Pin(nil), t.Pins...)}
+		}
+		out.Nets[i] = cp
+	}
+	return out
+}
+
+// SortNetsByHPWL orders nets by descending half-perimeter wirelength of
+// their pin bounding box — a classical net-ordering heuristic used by the
+// sequential baseline.
+func (l *Layout) SortNetsByHPWL() {
+	sort.SliceStable(l.Nets, func(i, j int) bool {
+		return netHPWL(&l.Nets[i]) > netHPWL(&l.Nets[j])
+	})
+}
+
+// netHPWL returns the half-perimeter of the net's pin bounding box.
+func netHPWL(n *Net) geom.Coord {
+	pins := n.AllPins()
+	if len(pins) == 0 {
+		return 0
+	}
+	bb := geom.R(pins[0].Pos.X, pins[0].Pos.Y, pins[0].Pos.X, pins[0].Pos.Y)
+	for _, p := range pins[1:] {
+		bb = bb.Union(geom.R(p.Pos.X, p.Pos.Y, p.Pos.X, p.Pos.Y))
+	}
+	return bb.HalfPerimeter()
+}
+
+// WriteJSON encodes the layout as indented JSON.
+func (l *Layout) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(l)
+}
+
+// ReadJSON decodes a layout from JSON and validates it.
+func ReadJSON(r io.Reader) (*Layout, error) {
+	var l Layout
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&l); err != nil {
+		return nil, fmt.Errorf("layout: decode: %w", err)
+	}
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	return &l, nil
+}

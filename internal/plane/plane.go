@@ -1,0 +1,270 @@
+// Package plane indexes the routing surface: the chip bounds and the
+// rectangular obstacles (cells) on it.
+//
+// The paper keeps all points "linked to reflect their topological order in
+// both x and y" so that ray tracing (Sutherland's technique) can expand the
+// search frontier efficiently. This package realizes that idea with
+// per-axis sorted edge orderings: a ray query binary-searches the sorted
+// order for the first candidate edge ahead of the ray and scans forward, so
+// the nearest blocking cell is found without visiting obstacles behind the
+// ray or outside its corridor.
+//
+// An Index is immutable after New, which makes it safe to share across the
+// per-net router goroutines. Additional obstacles (routed nets in the
+// sequential baseline) are layered on with Overlay.
+package plane
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+)
+
+// Index is an immutable spatial index over rectangular obstacles.
+type Index struct {
+	bounds geom.Rect
+	cells  []geom.Rect
+	// Sorted cell-index orderings, one per ray direction.
+	byMinX []int32 // ascending MinX: candidates for East rays
+	byMaxX []int32 // ascending MaxX: candidates for West rays (scanned backward)
+	byMinY []int32 // ascending MinY: candidates for North rays
+	byMaxY []int32 // ascending MaxY: candidates for South rays (scanned backward)
+}
+
+// New builds an index over the given obstacle rectangles within bounds.
+// Obstacles are copied; degenerate rectangles are rejected.
+func New(bounds geom.Rect, cells []geom.Rect) (*Index, error) {
+	if !bounds.IsValid() || bounds.Width() <= 0 || bounds.Height() <= 0 {
+		return nil, fmt.Errorf("plane: bounds %v must have positive area", bounds)
+	}
+	ix := &Index{bounds: bounds, cells: append([]geom.Rect(nil), cells...)}
+	for i, c := range ix.cells {
+		if !c.IsValid() || c.Width() <= 0 || c.Height() <= 0 {
+			return nil, fmt.Errorf("plane: obstacle %d %v must have positive area", i, c)
+		}
+	}
+	ix.reindex()
+	return ix, nil
+}
+
+// FromLayout builds an index whose obstacles are the layout's cells.
+// Rectangular cells contribute their box; polygon cells contribute their
+// double decomposition, so obstacle indices do not correspond one-to-one
+// with layout cell ids when polygons are present.
+func FromLayout(l *layout.Layout) (*Index, error) {
+	var rects []geom.Rect
+	for i := range l.Cells {
+		rects = append(rects, l.Cells[i].ObstacleRects()...)
+	}
+	return New(l.Bounds, rects)
+}
+
+// Overlay returns a new index containing the receiver's obstacles plus the
+// extra rectangles. The receiver is unchanged.
+func (ix *Index) Overlay(extra []geom.Rect) (*Index, error) {
+	all := make([]geom.Rect, 0, len(ix.cells)+len(extra))
+	all = append(all, ix.cells...)
+	all = append(all, extra...)
+	return New(ix.bounds, all)
+}
+
+// reindex rebuilds the four sorted orderings.
+func (ix *Index) reindex() {
+	n := len(ix.cells)
+	ix.byMinX = make([]int32, n)
+	ix.byMaxX = make([]int32, n)
+	ix.byMinY = make([]int32, n)
+	ix.byMaxY = make([]int32, n)
+	for i := 0; i < n; i++ {
+		ix.byMinX[i], ix.byMaxX[i], ix.byMinY[i], ix.byMaxY[i] = int32(i), int32(i), int32(i), int32(i)
+	}
+	c := ix.cells
+	sort.Slice(ix.byMinX, func(a, b int) bool { return c[ix.byMinX[a]].MinX < c[ix.byMinX[b]].MinX })
+	sort.Slice(ix.byMaxX, func(a, b int) bool { return c[ix.byMaxX[a]].MaxX < c[ix.byMaxX[b]].MaxX })
+	sort.Slice(ix.byMinY, func(a, b int) bool { return c[ix.byMinY[a]].MinY < c[ix.byMinY[b]].MinY })
+	sort.Slice(ix.byMaxY, func(a, b int) bool { return c[ix.byMaxY[a]].MaxY < c[ix.byMaxY[b]].MaxY })
+}
+
+// Bounds returns the routing area.
+func (ix *Index) Bounds() geom.Rect { return ix.bounds }
+
+// NumCells returns the obstacle count.
+func (ix *Index) NumCells() int { return len(ix.cells) }
+
+// Cell returns the i'th obstacle rectangle.
+func (ix *Index) Cell(i int) geom.Rect { return ix.cells[i] }
+
+// Cells returns a copy of all obstacle rectangles.
+func (ix *Index) Cells() []geom.Rect { return append([]geom.Rect(nil), ix.cells...) }
+
+// PointBlocked reports whether p lies strictly inside an obstacle, and which
+// one. Boundary points are legal routing locations.
+func (ix *Index) PointBlocked(p geom.Point) (cell int, blocked bool) {
+	for i, c := range ix.cells {
+		if c.ContainsStrict(p) {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// InBounds reports whether p lies within the routing area (boundary
+// included).
+func (ix *Index) InBounds(p geom.Point) bool { return ix.bounds.Contains(p) }
+
+// BoundaryCells appends to dst the indices of every obstacle whose boundary
+// contains p, and returns the extended slice. The search's boundary-hugging
+// rule expands along the edges of exactly these cells.
+func (ix *Index) BoundaryCells(p geom.Point, dst []int) []int {
+	for i, c := range ix.cells {
+		if c.Contains(p) && !c.ContainsStrict(p) {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// Hit describes the outcome of a ray query.
+type Hit struct {
+	// Stop is the farthest coordinate along the travel axis that the ray
+	// reaches without entering an obstacle interior. When Blocked it is the
+	// near-edge coordinate of the blocking cell; otherwise it is the query
+	// limit.
+	Stop geom.Coord
+	// Cell is the blocking obstacle index, or -1.
+	Cell int
+	// Blocked reports whether an obstacle stopped the ray before the limit.
+	Blocked bool
+}
+
+// RayHit casts a ray from `from` in direction d and reports where it must
+// stop. limit is the farthest coordinate of interest along the travel axis
+// (x for East/West, y for North/South); it is clamped to the routing
+// bounds. A ray sliding along an obstacle boundary is not blocked — only
+// interior penetration stops it, because routes are allowed to hug cells.
+func (ix *Index) RayHit(from geom.Point, d geom.Dir, limit geom.Coord) Hit {
+	c := ix.cells
+	switch d {
+	case geom.East:
+		limit = geom.Min(limit, ix.bounds.MaxX)
+		best := Hit{Stop: limit, Cell: -1}
+		// First candidate: cells whose left edge is at or beyond the ray
+		// origin. (A left edge exactly at the origin blocks immediately.)
+		i := sort.Search(len(ix.byMinX), func(k int) bool { return c[ix.byMinX[k]].MinX >= from.X })
+		for ; i < len(ix.byMinX); i++ {
+			cell := ix.byMinX[i]
+			r := c[cell]
+			if r.MinX >= best.Stop {
+				break // sorted: everything further starts past the best stop
+			}
+			if r.MinY < from.Y && from.Y < r.MaxY {
+				best = Hit{Stop: r.MinX, Cell: int(cell), Blocked: true}
+			}
+		}
+		return best
+	case geom.West:
+		limit = geom.Max(limit, ix.bounds.MinX)
+		best := Hit{Stop: limit, Cell: -1}
+		// Candidates: cells whose right edge is at or before the origin,
+		// scanned from the largest MaxX downward.
+		i := sort.Search(len(ix.byMaxX), func(k int) bool { return c[ix.byMaxX[k]].MaxX > from.X })
+		for i--; i >= 0; i-- {
+			cell := ix.byMaxX[i]
+			r := c[cell]
+			if r.MaxX <= best.Stop {
+				break
+			}
+			if r.MinY < from.Y && from.Y < r.MaxY {
+				best = Hit{Stop: r.MaxX, Cell: int(cell), Blocked: true}
+			}
+		}
+		return best
+	case geom.North:
+		limit = geom.Min(limit, ix.bounds.MaxY)
+		best := Hit{Stop: limit, Cell: -1}
+		i := sort.Search(len(ix.byMinY), func(k int) bool { return c[ix.byMinY[k]].MinY >= from.Y })
+		for ; i < len(ix.byMinY); i++ {
+			cell := ix.byMinY[i]
+			r := c[cell]
+			if r.MinY >= best.Stop {
+				break
+			}
+			if r.MinX < from.X && from.X < r.MaxX {
+				best = Hit{Stop: r.MinY, Cell: int(cell), Blocked: true}
+			}
+		}
+		return best
+	case geom.South:
+		limit = geom.Max(limit, ix.bounds.MinY)
+		best := Hit{Stop: limit, Cell: -1}
+		i := sort.Search(len(ix.byMaxY), func(k int) bool { return c[ix.byMaxY[k]].MaxY > from.Y })
+		for i--; i >= 0; i-- {
+			cell := ix.byMaxY[i]
+			r := c[cell]
+			if r.MaxY <= best.Stop {
+				break
+			}
+			if r.MinX < from.X && from.X < r.MaxX {
+				best = Hit{Stop: r.MaxY, Cell: int(cell), Blocked: true}
+			}
+		}
+		return best
+	}
+	return Hit{Stop: axisCoord(from, d), Cell: -1}
+}
+
+// axisCoord returns the coordinate of p along the travel axis of d.
+func axisCoord(p geom.Point, d geom.Dir) geom.Coord {
+	if d.Horizontal() {
+		return p.X
+	}
+	return p.Y
+}
+
+// SegBlocked reports whether the axis-parallel segment passes through any
+// obstacle interior, and the first obstacle hit walking from s.A to s.B.
+func (ix *Index) SegBlocked(s geom.Seg) (cell int, blocked bool) {
+	if c, b := ix.PointBlocked(s.A); b {
+		return c, true // start already strictly inside an obstacle
+	}
+	if s.Degenerate() {
+		return -1, false
+	}
+	d := s.Dir()
+	var target geom.Coord
+	if d.Horizontal() {
+		target = s.B.X
+	} else {
+		target = s.B.Y
+	}
+	h := ix.RayHit(s.A, d, target)
+	if !h.Blocked {
+		return -1, false
+	}
+	// Blocked only if the obstacle edge is strictly before the segment end
+	// (reaching exactly the near edge is legal: the wire stops there).
+	switch d {
+	case geom.East, geom.North:
+		if h.Stop < target {
+			return h.Cell, true
+		}
+	case geom.West, geom.South:
+		if h.Stop > target {
+			return h.Cell, true
+		}
+	}
+	return -1, false
+}
+
+// PathBlocked checks every leg of a rectilinear polyline and returns the
+// first blocking obstacle, if any.
+func (ix *Index) PathBlocked(pts []geom.Point) (cell int, blocked bool) {
+	for i := 1; i < len(pts); i++ {
+		if c, b := ix.SegBlocked(geom.S(pts[i-1], pts[i])); b {
+			return c, true
+		}
+	}
+	return -1, false
+}

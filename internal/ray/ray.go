@@ -1,0 +1,210 @@
+// Package ray generates search successors on the gridless routing plane —
+// the paper's replacement for grid expansion.
+//
+// The paper's requirements for the successor generator are that it
+//
+//	(1) extends any path as far toward the goal as is feasible in x and y, and
+//	(2) hugs cells (obstacles) as they are encountered.
+//
+// Requirement (1) is realized by casting a ray toward the goal along each
+// axis; the ray stops at the goal-aligned coordinate, at the first obstacle
+// boundary, or at the routing bounds (Sutherland-style ray tracing via
+// plane.Index). Requirement (2) is realized at expansion time: whenever the
+// expanded point lies on an obstacle boundary, slides along every incident
+// obstacle edge toward the edge's corners are emitted (each slide is itself
+// a ray, so another obstacle can stop it early).
+//
+// Because every emitted coordinate is an obstacle-edge coordinate, a
+// goal/pin coordinate, or a routing bound, the reachable state space is a
+// finite subset of the Hanan-style grid induced by those event coordinates,
+// so the search always terminates.
+package ray
+
+import (
+	"repro/internal/geom"
+	"repro/internal/plane"
+)
+
+// Mode selects how aggressively successors are generated.
+type Mode uint8
+
+const (
+	// Directed is the paper's generator: goal-ward rays plus boundary
+	// hugging. It produces remarkably few nodes (Figure 1).
+	Directed Mode = iota
+	// AllDirs casts rays in all four directions from every node in addition
+	// to boundary hugging. It produces a denser graph; the ablation
+	// experiments compare it against Directed.
+	AllDirs
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == Directed {
+		return "directed"
+	}
+	return "all-dirs"
+}
+
+// Gen generates successors over a plane index. It is stateless apart from
+// configuration and safe for concurrent use.
+type Gen struct {
+	// Ix is the obstacle index. It must be non-nil.
+	Ix *plane.Index
+	// Mode selects the generation strategy. The zero value is Directed.
+	Mode Mode
+}
+
+// Successors invokes emit for every successor point of `at` when searching
+// toward `guide`. The emitted via is the direction of travel from `at` to
+// the successor. guide supplies the goal-aligned ray limits; for multi-goal
+// searches the caller passes the nearest goal point.
+func (g *Gen) Successors(at, guide geom.Point, emit func(next geom.Point, via geom.Dir)) {
+	b := g.Ix.Bounds()
+
+	// emitRay casts one ray, emitting the final stop point plus an escape
+	// point at every visible obstacle-corner projection along the ray (see
+	// cornerProjections) — the track-graph vertices a shortest route may
+	// need to turn at.
+	emitRay := func(d geom.Dir, limit geom.Coord) {
+		h := g.Ix.RayHit(at, d, limit)
+		var next geom.Point
+		if d.Horizontal() {
+			next = geom.Pt(h.Stop, at.Y)
+		} else {
+			next = geom.Pt(at.X, h.Stop)
+		}
+		if next != at {
+			emit(next, d)
+			g.cornerProjections(at, d, h.Stop, emit)
+		}
+	}
+
+	// Requirement (1): goal-ward rays, limited at goal alignment.
+	hd, vd := geom.DirTowards(at, guide)
+	if hd != geom.DirNone {
+		emitRay(hd, guide.X)
+	}
+	if vd != geom.DirNone {
+		emitRay(vd, guide.Y)
+	}
+
+	if g.Mode == AllDirs {
+		// Rays in the remaining directions run to the routing bounds.
+		for _, d := range geom.Dirs {
+			if d == hd || d == vd {
+				continue
+			}
+			switch d {
+			case geom.East:
+				emitRay(d, b.MaxX)
+			case geom.West:
+				emitRay(d, b.MinX)
+			case geom.North:
+				emitRay(d, b.MaxY)
+			case geom.South:
+				emitRay(d, b.MinY)
+			}
+		}
+	}
+
+	g.hug(at, emitRay)
+}
+
+// cornerProjections emits an escape point at every visible perpendicular
+// projection of an obstacle corner onto the ray just cast from `at` in
+// direction d (which stopped at coordinate stop along the travel axis).
+//
+// These are the vertices of the classical track graph: a shortest
+// rectilinear path among rectangular obstacles can always be deformed so
+// that each of its segments lies on a maximal free line through an obstacle
+// corner (or through the start/goal). A route travelling along this ray may
+// therefore need to turn exactly where such a corner line crosses it. A
+// projection counts only when the perpendicular segment from the corner to
+// the ray is unobstructed — otherwise the crossing lies on a different
+// maximal free segment of the same line and is not a track vertex.
+func (g *Gen) cornerProjections(at geom.Point, d geom.Dir, stop geom.Coord, emit func(geom.Point, geom.Dir)) {
+	horiz := d.Horizontal()
+	var lo, hi geom.Coord
+	if horiz {
+		lo, hi = geom.Min(at.X, stop), geom.Max(at.X, stop)
+	} else {
+		lo, hi = geom.Min(at.Y, stop), geom.Max(at.Y, stop)
+	}
+	for ci, n := 0, g.Ix.NumCells(); ci < n; ci++ {
+		c := g.Ix.Cell(ci)
+		if horiz {
+			// Nearest corner row of this cell relative to the ray line. A
+			// ray line strictly inside the cell's span cannot cross its
+			// corner tracks without having been blocked first.
+			var cy geom.Coord
+			switch {
+			case at.Y <= c.MinY:
+				cy = c.MinY
+			case at.Y >= c.MaxY:
+				cy = c.MaxY
+			default:
+				continue
+			}
+			for _, cx := range [2]geom.Coord{c.MinX, c.MaxX} {
+				if cx <= lo || cx >= hi {
+					continue
+				}
+				q := geom.Pt(cx, at.Y)
+				if _, blocked := g.Ix.SegBlocked(geom.S(geom.Pt(cx, cy), q)); !blocked {
+					emit(q, d)
+				}
+			}
+		} else {
+			var cx geom.Coord
+			switch {
+			case at.X <= c.MinX:
+				cx = c.MinX
+			case at.X >= c.MaxX:
+				cx = c.MaxX
+			default:
+				continue
+			}
+			for _, cy := range [2]geom.Coord{c.MinY, c.MaxY} {
+				if cy <= lo || cy >= hi {
+					continue
+				}
+				q := geom.Pt(at.X, cy)
+				if _, blocked := g.Ix.SegBlocked(geom.S(geom.Pt(cx, cy), q)); !blocked {
+					emit(q, d)
+				}
+			}
+		}
+	}
+}
+
+// hug emits slides along every obstacle edge containing `at`.
+func (g *Gen) hug(at geom.Point, emitRay func(geom.Dir, geom.Coord)) {
+	// Requirement (2): hug every obstacle whose boundary contains `at`.
+	var buf [4]int
+	for _, ci := range g.Ix.BoundaryCells(at, buf[:0]) {
+		c := g.Ix.Cell(ci)
+		// Slide along each incident edge toward the edge corners. A point
+		// on a horizontal edge (y == MinY or MaxY, x within span) slides
+		// east/west; a point on a vertical edge slides north/south; a
+		// corner lies on two edges and slides along both.
+		onHorizEdge := (at.Y == c.MinY || at.Y == c.MaxY) && at.X >= c.MinX && at.X <= c.MaxX
+		onVertEdge := (at.X == c.MinX || at.X == c.MaxX) && at.Y >= c.MinY && at.Y <= c.MaxY
+		if onHorizEdge {
+			if at.X > c.MinX {
+				emitRay(geom.West, c.MinX)
+			}
+			if at.X < c.MaxX {
+				emitRay(geom.East, c.MaxX)
+			}
+		}
+		if onVertEdge {
+			if at.Y > c.MinY {
+				emitRay(geom.South, c.MinY)
+			}
+			if at.Y < c.MaxY {
+				emitRay(geom.North, c.MaxY)
+			}
+		}
+	}
+}

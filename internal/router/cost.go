@@ -1,0 +1,116 @@
+package router
+
+import (
+	"repro/internal/geom"
+	"repro/internal/plane"
+	"repro/internal/search"
+)
+
+// Scale is the number of cost units per database unit of wire length. Cost
+// models express length in Scale units so that small tie-breaking penalties
+// (the paper's ε) can be added without ever outweighing a single unit of
+// real wire length: as long as the penalties accumulated along a path stay
+// below Scale, length strictly dominates the ranking, and among equal-length
+// routes the penalties decide.
+const Scale search.Cost = 1 << 20
+
+// CostModel prices a route segment. Implementations must return at least
+// Scale times the segment's Manhattan length — the A* heuristic is exactly
+// that lower bound, and admissibility (hence route optimality) depends on
+// it. All costs must be non-negative.
+type CostModel interface {
+	// Directional reports whether SegCost depends on the arrival direction.
+	// Direction-independent models let the router collapse states that
+	// differ only by approach, which shrinks the search.
+	Directional() bool
+	// SegCost prices appending the segment from→to to a path that arrived
+	// at `from` travelling `in` (DirNone at a path start).
+	SegCost(from, to geom.Point, in geom.Dir) search.Cost
+}
+
+// LengthCost is the paper's base model: cost is wire length alone.
+type LengthCost struct{}
+
+// Directional implements CostModel; length does not depend on approach.
+func (LengthCost) Directional() bool { return false }
+
+// SegCost implements CostModel.
+func (LengthCost) SegCost(from, to geom.Point, in geom.Dir) search.Cost {
+	return Scale * from.Manhattan(to)
+}
+
+// CornerCost implements the paper's inverted-corner rule (Figure 2). Two
+// routes around a cell corner often have exactly the same length; the
+// preferred one bends while hugging the cell, the non-preferred one bends in
+// free space, creating an "inverted corner" that the detailed router then
+// has to straighten. CornerCost adds a small ε to every bend made at a
+// point that does not lie on any cell boundary, so among equal-length routes
+// the hugging route always wins.
+type CornerCost struct {
+	// Ix locates cell boundaries. It must be non-nil.
+	Ix *plane.Index
+	// Epsilon is the penalty per free-space bend, in raw cost units. It
+	// must be positive and small; the default used when zero is 1. The
+	// total penalty along a route must stay below Scale for length to keep
+	// strict priority, which holds for any route with fewer than ~10^6
+	// penalized bends.
+	Epsilon search.Cost
+}
+
+// Directional implements CostModel: detecting a bend requires the arrival
+// direction.
+func (c CornerCost) Directional() bool { return true }
+
+// SegCost implements CostModel.
+func (c CornerCost) SegCost(from, to geom.Point, in geom.Dir) search.Cost {
+	cost := Scale * from.Manhattan(to)
+	out := geom.S(from, to).Dir()
+	if in != geom.DirNone && out != geom.DirNone && in.Perpendicular(out) {
+		// A bend at `from`. Penalize it unless it hugs a cell: bends on a
+		// cell boundary are the preferred corners.
+		var buf [4]int
+		if len(c.Ix.BoundaryCells(from, buf[:0])) == 0 {
+			eps := c.Epsilon
+			if eps <= 0 {
+				eps = 1
+			}
+			cost += eps
+		}
+	}
+	return cost
+}
+
+// PenaltyFn augments a base model with an extra non-negative cost for a
+// segment. The congestion package uses it to price routes through crowded
+// passages (the paper's "channel congestion" cost term).
+type PenaltyFn func(from, to geom.Point) search.Cost
+
+// PenaltyCost layers an additive penalty over a base model.
+type PenaltyCost struct {
+	// Base is the underlying model; nil means LengthCost.
+	Base CostModel
+	// Penalty returns the extra cost for a segment; it must be
+	// non-negative. nil means no penalty.
+	Penalty PenaltyFn
+}
+
+// Directional implements CostModel.
+func (p PenaltyCost) Directional() bool {
+	if p.Base != nil {
+		return p.Base.Directional()
+	}
+	return false
+}
+
+// SegCost implements CostModel.
+func (p PenaltyCost) SegCost(from, to geom.Point, in geom.Dir) search.Cost {
+	base := CostModel(LengthCost{})
+	if p.Base != nil {
+		base = p.Base
+	}
+	cost := base.SegCost(from, to, in)
+	if p.Penalty != nil {
+		cost += p.Penalty(from, to)
+	}
+	return cost
+}

@@ -1,0 +1,96 @@
+package router
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/search"
+)
+
+// LayoutResult aggregates the routes for every net of a layout.
+type LayoutResult struct {
+	// Nets holds one NetRoute per layout net, in layout order.
+	Nets []NetRoute
+	// TotalLength sums wire length over all routed nets.
+	TotalLength geom.Coord
+	// Failed lists the names of nets that could not be fully connected.
+	Failed []string
+	// Stats accumulates search effort over all nets.
+	Stats search.Stats
+	// Elapsed is the wall-clock routing time.
+	Elapsed time.Duration
+}
+
+// RouteLayout routes every net of the layout. Because the paper routes each
+// net independently — the only obstacles are the cells, so there is no net
+// ordering and no interaction — the nets can be routed concurrently;
+// workers > 1 enables that, workers <= 0 uses GOMAXPROCS, and workers == 1
+// routes sequentially (used by benchmarks that time single-net work).
+func (r *Router) RouteLayout(l *layout.Layout, workers int) (*LayoutResult, error) {
+	start := time.Now()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	res := &LayoutResult{Nets: make([]NetRoute, len(l.Nets))}
+
+	type job struct{ i int }
+	var firstErr error
+	if workers == 1 {
+		for i := range l.Nets {
+			nr, err := r.RouteNet(&l.Nets[i])
+			if err != nil {
+				return nil, err
+			}
+			res.Nets[i] = nr
+		}
+	} else {
+		jobs := make(chan job)
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range jobs {
+					nr, err := r.RouteNet(&l.Nets[j.i])
+					if err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						continue
+					}
+					res.Nets[j.i] = nr
+				}
+			}()
+		}
+		for i := range l.Nets {
+			jobs <- job{i}
+		}
+		close(jobs)
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+	}
+
+	for i := range res.Nets {
+		nr := &res.Nets[i]
+		res.TotalLength += nr.Length
+		res.Stats.Expanded += nr.Stats.Expanded
+		res.Stats.Generated += nr.Stats.Generated
+		res.Stats.Reopened += nr.Stats.Reopened
+		if nr.Stats.MaxOpen > res.Stats.MaxOpen {
+			res.Stats.MaxOpen = nr.Stats.MaxOpen
+		}
+		if !nr.Found {
+			res.Failed = append(res.Failed, nr.Net)
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

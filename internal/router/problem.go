@@ -1,0 +1,216 @@
+package router
+
+import (
+	"repro/internal/geom"
+	"repro/internal/ray"
+	"repro/internal/search"
+)
+
+// State identifies a search node: a point on the routing plane plus the
+// direction the route was travelling when it arrived there. For
+// direction-independent cost models the router collapses In to DirNone so
+// each point is a single node, exactly the paper's formulation; directional
+// models (the ε corner rule) need the approach direction to price bends.
+//
+// The zero Point with virtual=true is the synthetic multi-source start.
+type State struct {
+	At      geom.Point
+	In      geom.Dir
+	virtual bool
+}
+
+// targetSet is the goal of a connection search: a set of points and
+// segments. A plain two-pin route has a single target point; a Steiner
+// attachment targets the whole partially-built tree, segments included —
+// the paper's modification of the spanning-tree algorithm.
+type targetSet struct {
+	points []geom.Point
+	segs   []geom.Seg
+}
+
+// contains reports whether p is on the target set.
+func (t *targetSet) contains(p geom.Point) bool {
+	for _, q := range t.points {
+		if p == q {
+			return true
+		}
+	}
+	for _, s := range t.segs {
+		if s.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// nearest returns the closest point of the target set to p and its
+// Manhattan distance. The distance is an admissible heuristic; the point
+// guides ray generation.
+func (t *targetSet) nearest(p geom.Point) (geom.Point, geom.Coord) {
+	best := geom.Point{}
+	bestD := geom.Coord(-1)
+	consider := func(q geom.Point) {
+		d := p.Manhattan(q)
+		if bestD < 0 || d < bestD || (d == bestD && q.Less(best)) {
+			best, bestD = q, d
+		}
+	}
+	for _, q := range t.points {
+		consider(q)
+	}
+	for _, s := range t.segs {
+		// The nearest point of an axis-parallel segment to p clamps p's
+		// coordinates onto the segment's span.
+		b := s.Bounds()
+		consider(geom.Pt(geom.Clamp(p.X, b.MinX, b.MaxX), geom.Clamp(p.Y, b.MinY, b.MaxY)))
+	}
+	return best, bestD
+}
+
+// crossing returns the point where the directed travel segment from→to
+// first meets the target set, if it does. Rays are cast toward the nearest
+// target, but a travel segment can also cross a *different* target segment
+// transversally; detecting that crossing early is what lets a route attach
+// to the middle of an existing tree edge.
+func (t *targetSet) crossing(from, to geom.Point) (geom.Point, bool) {
+	travel := geom.S(from, to)
+	d := travel.Dir()
+	best := geom.Point{}
+	bestD := geom.Coord(-1)
+	consider := func(q geom.Point) {
+		if !travel.Contains(q) {
+			return
+		}
+		dist := from.Manhattan(q)
+		if bestD < 0 || dist < bestD {
+			best, bestD = q, dist
+		}
+	}
+	for _, q := range t.points {
+		consider(q)
+	}
+	for _, s := range t.segs {
+		if !travel.Intersects(s) {
+			continue
+		}
+		// Intersection of two axis-parallel segments: the overlap box is
+		// degenerate; its corner nearest `from` along the travel direction
+		// is the first contact.
+		ov := travel.Bounds().Intersection(s.Bounds())
+		var q geom.Point
+		switch d {
+		case geom.East, geom.North, geom.DirNone:
+			q = geom.Pt(ov.MinX, ov.MinY)
+		case geom.West:
+			q = geom.Pt(ov.MaxX, ov.MinY)
+		case geom.South:
+			q = geom.Pt(ov.MinX, ov.MaxY)
+		}
+		consider(q)
+	}
+	if bestD < 0 {
+		return geom.Point{}, false
+	}
+	return best, true
+}
+
+// connProblem adapts a connection query to the generic search framework.
+type connProblem struct {
+	gen        *ray.Gen
+	cost       CostModel
+	sources    []geom.Point
+	targets    targetSet
+	onExpand   func(geom.Point, search.Cost)
+	onGenerate func(geom.Point, search.Cost)
+}
+
+var (
+	_ search.Problem[State]       = (*connProblem)(nil)
+	_ search.TracedProblem[State] = (*connProblem)(nil)
+)
+
+// stateTracer forwards search events to the router's callbacks.
+type stateTracer struct {
+	onExpand   func(geom.Point, search.Cost)
+	onGenerate func(geom.Point, search.Cost)
+}
+
+// Expanded implements search.Tracer.
+func (t stateTracer) Expanded(s State, g search.Cost) {
+	if t.onExpand != nil && !s.virtual {
+		t.onExpand(s.At, g)
+	}
+}
+
+// Generated implements search.Tracer.
+func (t stateTracer) Generated(s State, g search.Cost) {
+	if t.onGenerate != nil && !s.virtual {
+		t.onGenerate(s.At, g)
+	}
+}
+
+// Tracer implements search.TracedProblem.
+func (p *connProblem) Tracer() search.Tracer[State] {
+	if p.onExpand == nil && p.onGenerate == nil {
+		return nil
+	}
+	return stateTracer{onExpand: p.onExpand, onGenerate: p.onGenerate}
+}
+
+// Start implements search.Problem with the synthetic multi-source node.
+func (p *connProblem) Start() State { return State{virtual: true} }
+
+// IsGoal implements search.Problem.
+func (p *connProblem) IsGoal(s State) bool {
+	return !s.virtual && p.targets.contains(s.At)
+}
+
+// Heuristic implements search.Problem: Scale times the Manhattan distance
+// to the nearest target, the paper's admissible lower bound. The virtual
+// start gets 0, trivially admissible.
+func (p *connProblem) Heuristic(s State) search.Cost {
+	if s.virtual {
+		return 0
+	}
+	_, d := p.targets.nearest(s.At)
+	if d < 0 {
+		return 0
+	}
+	return Scale * d
+}
+
+// Successors implements search.Problem.
+func (p *connProblem) Successors(s State, emit func(State, search.Cost)) {
+	if s.virtual {
+		seen := make(map[geom.Point]bool, len(p.sources))
+		for _, src := range p.sources {
+			if seen[src] {
+				continue
+			}
+			seen[src] = true
+			emit(State{At: src}, 0)
+		}
+		return
+	}
+	directional := p.cost.Directional()
+	guide, _ := p.targets.nearest(s.At)
+	p.gen.Successors(s.At, guide, func(next geom.Point, via geom.Dir) {
+		p.emitMove(s, next, via, directional, emit)
+		// If the travel segment crosses the target set before reaching
+		// `next`, emit the crossing too so mid-segment attachments are
+		// reachable goals.
+		if q, ok := p.targets.crossing(s.At, next); ok && q != next && q != s.At {
+			p.emitMove(s, q, via, directional, emit)
+		}
+	})
+}
+
+// emitMove prices and emits a single successor.
+func (p *connProblem) emitMove(s State, next geom.Point, via geom.Dir, directional bool, emit func(State, search.Cost)) {
+	cost := p.cost.SegCost(s.At, next, s.In)
+	st := State{At: next}
+	if directional {
+		st.In = via
+	}
+	emit(st, cost)
+}

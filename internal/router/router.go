@@ -1,0 +1,313 @@
+// Package router implements the paper's primary contribution: a gridless
+// global router for general-cell layouts based on A* search with
+// ray-tracing successor generation.
+//
+// A Router answers three kinds of queries, in increasing generality:
+//
+//   - RoutePoints: a minimal-cost rectilinear route between two points,
+//     avoiding all cell interiors (the paper's core two-pin case);
+//   - RouteConnection: a route from a set of source points to a target set
+//     of points and segments (one Steiner attachment step);
+//   - RouteNet: a route tree for a multi-terminal net with multi-pin
+//     terminals, built by the paper's adaptation of the minimum spanning
+//     tree algorithm in which every segment of the partial tree is a
+//     potential connection point.
+//
+// Every net is routed independently against the cells only — the paper's
+// key simplification, which removes net ordering entirely. RouteLayout
+// exploits the resulting independence by routing nets concurrently.
+package router
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/plane"
+	"repro/internal/ray"
+	"repro/internal/search"
+)
+
+// Options configures a Router.
+type Options struct {
+	// Mode selects the successor generator; the zero value is the paper's
+	// Directed generator.
+	Mode ray.Mode
+	// Strategy selects the search discipline; the zero value is AStar.
+	// Blind strategies are provided for the comparison experiments only.
+	Strategy search.Strategy
+	// Cost prices route segments; nil means LengthCost.
+	Cost CostModel
+	// MaxExpansions bounds the work per connection search; zero means the
+	// built-in safety cap of 4,000,000 expansions.
+	MaxExpansions int
+	// WeightNum/WeightDen inflate the heuristic for the weighted-A*
+	// ablation; both zero means admissible weight 1.
+	WeightNum, WeightDen search.Cost
+	// OnExpand, when non-nil, receives every expanded search point with
+	// its accumulated cost — the hook behind the Figure 1 expansion
+	// traces. It runs inline; keep it cheap.
+	OnExpand func(at geom.Point, g search.Cost)
+	// OnGenerate, when non-nil, receives every newly generated successor
+	// point.
+	OnGenerate func(at geom.Point, g search.Cost)
+}
+
+// defaultMaxExpansions stops runaway searches on unroutable queries.
+const defaultMaxExpansions = 4_000_000
+
+// Router routes over an immutable plane index. It is safe for concurrent
+// use: all state is per-query.
+type Router struct {
+	ix   *plane.Index
+	opts Options
+	cost CostModel
+}
+
+// New builds a Router over the given obstacle index.
+func New(ix *plane.Index, opts Options) *Router {
+	cost := opts.Cost
+	if cost == nil {
+		cost = LengthCost{}
+	}
+	return &Router{ix: ix, opts: opts, cost: cost}
+}
+
+// Index returns the plane index the router searches over.
+func (r *Router) Index() *plane.Index { return r.ix }
+
+// Route is the result of a single connection search.
+type Route struct {
+	// Found reports whether a route exists within the search budget.
+	Found bool
+	// Points is the simplified rectilinear polyline from source to target.
+	Points []geom.Point
+	// Length is the total Manhattan wire length.
+	Length geom.Coord
+	// Cost is the model cost (Scale×length plus penalties).
+	Cost search.Cost
+	// Stats describes the search effort.
+	Stats search.Stats
+}
+
+// Errors returned by routing queries.
+var (
+	// ErrBlockedEndpoint marks a query endpoint strictly inside a cell.
+	ErrBlockedEndpoint = errors.New("router: endpoint strictly inside a cell")
+	// ErrOutOfBounds marks a query endpoint outside the routing area.
+	ErrOutOfBounds = errors.New("router: endpoint outside routing bounds")
+)
+
+// RoutePoints finds a minimal-cost route between two points.
+func (r *Router) RoutePoints(from, to geom.Point) (Route, error) {
+	return r.RouteConnection([]geom.Point{from}, []geom.Point{to}, nil)
+}
+
+// RouteConnection finds a minimal-cost route from any source point to the
+// nearest (by cost) part of the target set. Target segments admit
+// mid-segment attachment, which is what the Steiner construction needs.
+func (r *Router) RouteConnection(sources, targetPts []geom.Point, targetSegs []geom.Seg) (Route, error) {
+	if len(sources) == 0 || (len(targetPts) == 0 && len(targetSegs) == 0) {
+		return Route{}, fmt.Errorf("router: empty source or target set")
+	}
+	for _, p := range append(append([]geom.Point{}, sources...), targetPts...) {
+		if !r.ix.InBounds(p) {
+			return Route{}, fmt.Errorf("%w: %v", ErrOutOfBounds, p)
+		}
+		if cell, blocked := r.ix.PointBlocked(p); blocked {
+			return Route{}, fmt.Errorf("%w: %v in cell %d", ErrBlockedEndpoint, p, cell)
+		}
+	}
+	prob := &connProblem{
+		gen:        &ray.Gen{Ix: r.ix, Mode: r.opts.Mode},
+		cost:       r.cost,
+		sources:    sources,
+		targets:    targetSet{points: targetPts, segs: targetSegs},
+		onExpand:   r.opts.OnExpand,
+		onGenerate: r.opts.OnGenerate,
+	}
+	maxExp := r.opts.MaxExpansions
+	if maxExp == 0 {
+		maxExp = defaultMaxExpansions
+	}
+	res, err := search.Find[State](prob, search.Options{
+		Strategy:      r.opts.Strategy,
+		MaxExpansions: maxExp,
+		WeightNum:     r.opts.WeightNum,
+		WeightDen:     r.opts.WeightDen,
+	})
+	if err != nil && !errors.Is(err, search.ErrBudget) {
+		return Route{}, err
+	}
+	out := Route{Stats: res.Stats}
+	if !res.Found {
+		return out, nil
+	}
+	pts := make([]geom.Point, 0, len(res.Path))
+	for _, s := range res.Path {
+		if s.virtual {
+			continue
+		}
+		pts = append(pts, s.At)
+	}
+	out.Found = true
+	out.Points = geom.SimplifyPath(pts)
+	out.Length = geom.PathLength(out.Points)
+	out.Cost = res.Cost
+	return out, nil
+}
+
+// NetRoute is the routed tree for one net.
+type NetRoute struct {
+	// Net names the routed net.
+	Net string
+	// Found reports whether every terminal was connected.
+	Found bool
+	// Paths holds one polyline per Steiner attachment, in connection
+	// order.
+	Paths [][]geom.Point
+	// Segments is the flattened tree wiring.
+	Segments []geom.Seg
+	// Length is the total tree wire length.
+	Length geom.Coord
+	// Stats accumulates search effort across all attachments.
+	Stats search.Stats
+	// FailedTerminal names the first terminal that could not be connected
+	// (empty when Found).
+	FailedTerminal string
+}
+
+// RouteNet routes a multi-terminal net as an approximate Steiner tree. The
+// construction follows the paper: terminals are merged into a growing
+// connected set one at a time in minimum-spanning-tree fashion, except that
+// every line segment already in the tree — not just the pins — is a
+// potential connection point, and every pin of a multi-pin terminal joins
+// the connected set when its terminal connects.
+func (r *Router) RouteNet(net *layout.Net) (NetRoute, error) {
+	out := NetRoute{Net: net.Name}
+	if len(net.Terminals) < 2 {
+		return out, fmt.Errorf("router: net %q needs at least two terminals", net.Name)
+	}
+	// The connected set starts as the pins of the terminal whose first pin
+	// is most central (deterministic and cheap); remaining terminals join
+	// greedily by cheapest actual route, the adapted-Dijkstra order.
+	startIdx := r.pickStartTerminal(net)
+	connectedPts := pinPoints(&net.Terminals[startIdx])
+	var connectedSegs []geom.Seg
+	remaining := make([]int, 0, len(net.Terminals)-1)
+	for i := range net.Terminals {
+		if i != startIdx {
+			remaining = append(remaining, i)
+		}
+	}
+
+	for len(remaining) > 0 {
+		type cand struct {
+			idx   int // position in remaining
+			route Route
+		}
+		best := cand{idx: -1}
+		// Route every unconnected terminal to the current set and take the
+		// cheapest — the spanning-tree greedy step with true route costs.
+		for i, ti := range remaining {
+			srcs := pinPoints(&net.Terminals[ti])
+			route, err := r.RouteConnection(srcs, connectedPts, connectedSegs)
+			if err != nil {
+				return out, fmt.Errorf("net %q terminal %q: %w", net.Name, net.Terminals[ti].Name, err)
+			}
+			out.Stats.Expanded += route.Stats.Expanded
+			out.Stats.Generated += route.Stats.Generated
+			out.Stats.Reopened += route.Stats.Reopened
+			if route.Stats.MaxOpen > out.Stats.MaxOpen {
+				out.Stats.MaxOpen = route.Stats.MaxOpen
+			}
+			if !route.Found {
+				continue
+			}
+			if best.idx < 0 || route.Cost < best.route.Cost {
+				best = cand{idx: i, route: route}
+			}
+		}
+		if best.idx < 0 {
+			out.FailedTerminal = net.Terminals[remaining[0]].Name
+			return out, nil
+		}
+		ti := remaining[best.idx]
+		remaining = append(remaining[:best.idx], remaining[best.idx+1:]...)
+		// Fold the new path and the terminal's pins into the connected set.
+		out.Paths = append(out.Paths, best.route.Points)
+		out.Length += best.route.Length
+		for i := 1; i < len(best.route.Points); i++ {
+			seg := geom.S(best.route.Points[i-1], best.route.Points[i])
+			out.Segments = append(out.Segments, seg)
+			connectedSegs = append(connectedSegs, seg)
+		}
+		connectedPts = append(connectedPts, pinPoints(&net.Terminals[ti])...)
+	}
+	out.Found = true
+	return out, nil
+}
+
+// pickStartTerminal seeds the tree with one endpoint of the closest
+// terminal pair (by minimum pin-to-pin Manhattan distance) — the classical
+// Prim initialization. Routing the shortest edge first lays down a trunk
+// that later terminals can attach to mid-segment, which is where the
+// paper's segment-attachment rule wins over a pin-to-pin spanning tree.
+func (r *Router) pickStartTerminal(net *layout.Net) int {
+	best, bestD := 0, geom.Coord(-1)
+	for i := range net.Terminals {
+		for j := i + 1; j < len(net.Terminals); j++ {
+			for _, p := range net.Terminals[i].Pins {
+				for _, q := range net.Terminals[j].Pins {
+					d := p.Pos.Manhattan(q.Pos)
+					if bestD < 0 || d < bestD {
+						best, bestD = i, d
+					}
+				}
+			}
+		}
+	}
+	return best
+}
+
+// pinPoints extracts a terminal's pin locations.
+func pinPoints(t *layout.Terminal) []geom.Point {
+	pts := make([]geom.Point, len(t.Pins))
+	for i, p := range t.Pins {
+		pts[i] = p.Pos
+	}
+	return pts
+}
+
+// Validate checks that a route tree is geometrically legal: rectilinear,
+// within bounds, and never crossing a cell interior. Tests and the
+// experiment harness use it as the ground-truth acceptance check.
+func (r *Router) Validate(nr *NetRoute) error {
+	for _, s := range nr.Segments {
+		if !r.ix.InBounds(s.A) || !r.ix.InBounds(s.B) {
+			return fmt.Errorf("net %q: segment %v leaves the routing bounds", nr.Net, s)
+		}
+		if cell, blocked := r.ix.SegBlocked(s); blocked {
+			return fmt.Errorf("net %q: segment %v crosses cell %d", nr.Net, s, cell)
+		}
+	}
+	return nil
+}
+
+// SortedSegments returns the net's segments in canonical order, for
+// deterministic output.
+func (nr *NetRoute) SortedSegments() []geom.Seg {
+	segs := make([]geom.Seg, len(nr.Segments))
+	for i, s := range nr.Segments {
+		segs[i] = s.Canon()
+	}
+	sort.Slice(segs, func(i, j int) bool {
+		if segs[i].A != segs[j].A {
+			return segs[i].A.Less(segs[j].A)
+		}
+		return segs[i].B.Less(segs[j].B)
+	})
+	return segs
+}

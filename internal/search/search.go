@@ -1,0 +1,419 @@
+// Package search implements the generic state-space search framework the
+// paper builds its router on (Nilsson's A* plus the blind strategies it
+// generalizes).
+//
+// A search maintains two lists, following the paper's exposition:
+//
+//   - OPEN: the frontier — nodes the search may still expand;
+//   - CLOSED: nodes already expanded, no longer candidates.
+//
+// The strategies differ only in the discipline used to pick the next node
+// off OPEN:
+//
+//   - DepthFirst: last-in first-out (with an optional depth limit);
+//   - BreadthFirst: first-in first-out;
+//   - BestFirst: ascending g(n) — branch and bound;
+//   - AStar: ascending f(n) = g(n) + h(n).
+//
+// With an admissible heuristic (h a lower bound on the true remaining cost)
+// AStar always returns a minimal-cost path. When a cheaper path is found to
+// a node already on CLOSED the node is reopened and its parent pointer is
+// redirected, exactly as the paper prescribes.
+package search
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Cost is the additive edge/path cost type. Costs must be non-negative; the
+// termination argument in the paper depends on it.
+type Cost = int64
+
+// Problem describes a state-space search problem over states of type S.
+// States must be comparable because OPEN/CLOSED membership is by state
+// identity ("you must be careful not to have more than one copy of a node
+// active at any time").
+type Problem[S comparable] interface {
+	// Start returns the initial state s.
+	Start() S
+	// IsGoal reports whether the state is a goal.
+	IsGoal(S) bool
+	// Successors invokes emit for every successor of the state together
+	// with the non-negative cost of the connecting edge.
+	Successors(s S, emit func(next S, edgeCost Cost))
+	// Heuristic estimates the remaining cost from the state to a goal.
+	// It must never be negative. Return 0 for uninformed strategies.
+	Heuristic(S) Cost
+}
+
+// Strategy selects the OPEN-list discipline.
+type Strategy uint8
+
+// The four strategies discussed in the paper.
+const (
+	AStar Strategy = iota
+	BestFirst
+	BreadthFirst
+	DepthFirst
+)
+
+var strategyNames = [...]string{"A*", "best-first", "breadth-first", "depth-first"}
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	if int(s) < len(strategyNames) {
+		return strategyNames[s]
+	}
+	return fmt.Sprintf("Strategy(%d)", uint8(s))
+}
+
+// Options tunes a search run.
+type Options struct {
+	// Strategy is the OPEN-list discipline. The zero value is AStar.
+	Strategy Strategy
+	// DepthLimit bounds the number of edges in a depth-first path; zero
+	// means unlimited. Only meaningful for DepthFirst.
+	DepthLimit int
+	// MaxExpansions aborts the search after this many node expansions;
+	// zero means unlimited. The abort is reported as ErrBudget.
+	MaxExpansions int
+	// WeightNum/WeightDen inflate the heuristic: f = g + h*WeightNum/WeightDen.
+	// Both zero means weight 1 (admissible A*). WeightNum > WeightDen gives
+	// weighted (inadmissible) A*, used by the ablation experiments.
+	WeightNum, WeightDen Cost
+}
+
+// Tracer observes a search for visualization and debugging (the Figure 1
+// expansion traces). Implementations must be cheap; they run inline.
+type Tracer[S comparable] interface {
+	// Expanded is called when a node comes off OPEN for expansion, with
+	// its g value.
+	Expanded(s S, g Cost)
+	// Generated is called for every successor emitted (after dedup
+	// against a better existing path).
+	Generated(s S, g Cost)
+}
+
+// TracedProblem optionally attaches a Tracer to a Problem. Find checks for
+// it with a type assertion.
+type TracedProblem[S comparable] interface {
+	Problem[S]
+	Tracer() Tracer[S]
+}
+
+// tracerOf extracts the problem's tracer, or nil.
+func tracerOf[S comparable](p Problem[S]) Tracer[S] {
+	if tp, ok := p.(TracedProblem[S]); ok {
+		return tp.Tracer()
+	}
+	return nil
+}
+
+// Stats counts the work a search performed. The paper's Figure 1 claim is a
+// statement about Expanded for the gridless successor generator.
+type Stats struct {
+	Expanded  int // nodes removed from OPEN and expanded
+	Generated int // successor states produced (before dedup)
+	Reopened  int // CLOSED nodes moved back to OPEN on a cheaper path
+	MaxOpen   int // high-water mark of the OPEN list
+}
+
+// Result is the outcome of a search.
+type Result[S comparable] struct {
+	// Found reports whether a goal was reached.
+	Found bool
+	// Path lists the states from start to goal inclusive (empty when not
+	// found).
+	Path []S
+	// Cost is the accumulated path cost g(goal).
+	Cost Cost
+	// Stats describes the work performed.
+	Stats Stats
+}
+
+// ErrBudget is returned when MaxExpansions is exhausted before a goal is
+// reached.
+var ErrBudget = errors.New("search: expansion budget exhausted")
+
+// ErrNegativeEdge is returned when a successor is emitted with a negative
+// edge cost, which would break the termination argument.
+var ErrNegativeEdge = errors.New("search: negative edge cost")
+
+// node is the bookkeeping record for a state on OPEN or CLOSED.
+type node[S comparable] struct {
+	state  S
+	parent *node[S]
+	g      Cost
+	h      Cost
+	f      Cost // g + weighted h (or ordering key for the blind strategies)
+	depth  int
+	seq    int // insertion sequence, for deterministic tie-breaking
+	index  int // heap index; -1 when not on OPEN
+	closed bool
+}
+
+// openHeap orders nodes by (f, h, seq). Breaking f ties toward smaller h
+// prefers nodes closer to the goal, the standard A* refinement; seq makes
+// the whole order deterministic.
+type openHeap[S comparable] []*node[S]
+
+func (h openHeap[S]) Len() int { return len(h) }
+func (h openHeap[S]) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.f != b.f {
+		return a.f < b.f
+	}
+	if a.h != b.h {
+		return a.h < b.h
+	}
+	return a.seq < b.seq
+}
+func (h openHeap[S]) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *openHeap[S]) Push(x any) {
+	n := x.(*node[S])
+	n.index = len(*h)
+	*h = append(*h, n)
+}
+func (h *openHeap[S]) Pop() any {
+	old := *h
+	n := old[len(old)-1]
+	old[len(old)-1] = nil
+	n.index = -1
+	*h = old[:len(old)-1]
+	return n
+}
+
+// Find runs the search described by opts over the problem and returns the
+// result. The only errors are ErrBudget and ErrNegativeEdge; an exhausted
+// search space without a goal is not an error (Found is false).
+func Find[S comparable](p Problem[S], opts Options) (Result[S], error) {
+	switch opts.Strategy {
+	case AStar, BestFirst:
+		return findOrdered(p, opts)
+	case BreadthFirst, DepthFirst:
+		return findBlind(p, opts)
+	default:
+		return Result[S]{}, fmt.Errorf("search: unknown strategy %v", opts.Strategy)
+	}
+}
+
+// weigh applies the optional heuristic weight.
+func weigh(h Cost, opts Options) Cost {
+	if opts.WeightNum == 0 && opts.WeightDen == 0 {
+		return h
+	}
+	den := opts.WeightDen
+	if den == 0 {
+		den = 1
+	}
+	return h * opts.WeightNum / den
+}
+
+// findOrdered implements BestFirst (f = g) and AStar (f = g + h) with a
+// priority queue and CLOSED reopening.
+func findOrdered[S comparable](p Problem[S], opts Options) (Result[S], error) {
+	useH := opts.Strategy == AStar
+	var (
+		res    Result[S]
+		open   openHeap[S]
+		all    = make(map[S]*node[S])
+		seq    int
+		stats  Stats
+		tracer = tracerOf(p)
+	)
+	start := p.Start()
+	h0 := Cost(0)
+	if useH {
+		h0 = p.Heuristic(start)
+	}
+	sn := &node[S]{state: start, g: 0, h: h0, f: weigh(h0, opts), index: -1}
+	all[start] = sn
+	heap.Push(&open, sn)
+
+	for open.Len() > 0 {
+		if open.Len() > stats.MaxOpen {
+			stats.MaxOpen = open.Len()
+		}
+		n := heap.Pop(&open).(*node[S])
+		// Terminate when a goal node is *removed* from OPEN: every other
+		// open node has f at least as large, so no cheaper path remains.
+		if p.IsGoal(n.state) {
+			res.Found = true
+			res.Cost = n.g
+			res.Path = reconstruct(n)
+			res.Stats = stats
+			return res, nil
+		}
+		n.closed = true
+		stats.Expanded++
+		if tracer != nil {
+			tracer.Expanded(n.state, n.g)
+		}
+		if opts.MaxExpansions > 0 && stats.Expanded > opts.MaxExpansions {
+			res.Stats = stats
+			return res, ErrBudget
+		}
+
+		var emitErr error
+		p.Successors(n.state, func(next S, edge Cost) {
+			if emitErr != nil {
+				return
+			}
+			if edge < 0 {
+				emitErr = ErrNegativeEdge
+				return
+			}
+			stats.Generated++
+			g := n.g + edge
+			if prev, ok := all[next]; ok {
+				if g >= prev.g {
+					return // existing path at least as good
+				}
+				// Cheaper path: redirect the parent pointer; reopen if the
+				// node had been closed.
+				prev.parent = n
+				prev.g = g
+				prev.f = g
+				if useH {
+					prev.f = g + weigh(prev.h, opts)
+				}
+				prev.depth = n.depth + 1
+				if prev.closed {
+					prev.closed = false
+					stats.Reopened++
+					seq++
+					prev.seq = seq
+					heap.Push(&open, prev)
+				} else {
+					heap.Fix(&open, prev.index)
+				}
+				return
+			}
+			hv := Cost(0)
+			if useH {
+				hv = p.Heuristic(next)
+			}
+			seq++
+			nn := &node[S]{
+				state: next, parent: n, g: g, h: hv,
+				f: g, depth: n.depth + 1, seq: seq, index: -1,
+			}
+			if useH {
+				nn.f = g + weigh(hv, opts)
+			}
+			all[next] = nn
+			heap.Push(&open, nn)
+			if tracer != nil {
+				tracer.Generated(next, g)
+			}
+		})
+		if emitErr != nil {
+			res.Stats = stats
+			return res, emitErr
+		}
+	}
+	res.Stats = stats
+	return res, nil
+}
+
+// findBlind implements BreadthFirst and DepthFirst with a deque. These are
+// the paper's "blind" strategies: the OPEN order ignores cost, although g is
+// still tracked so the returned path has an accurate length.
+func findBlind[S comparable](p Problem[S], opts Options) (Result[S], error) {
+	lifo := opts.Strategy == DepthFirst
+	var (
+		res    Result[S]
+		open   []*node[S]
+		all    = make(map[S]*node[S])
+		stats  Stats
+		tracer = tracerOf(p)
+	)
+	start := p.Start()
+	sn := &node[S]{state: start}
+	all[start] = sn
+	open = append(open, sn)
+
+	// In blind search the goal test happens at generation time for BFS
+	// (first path found is fewest-edges) and at expansion time for DFS.
+	for len(open) > 0 {
+		if len(open) > stats.MaxOpen {
+			stats.MaxOpen = len(open)
+		}
+		var n *node[S]
+		if lifo {
+			n = open[len(open)-1]
+			open = open[:len(open)-1]
+		} else {
+			n = open[0]
+			open = open[1:]
+		}
+		if n.closed {
+			continue // superseded entry
+		}
+		if p.IsGoal(n.state) {
+			res.Found = true
+			res.Cost = n.g
+			res.Path = reconstruct(n)
+			res.Stats = stats
+			return res, nil
+		}
+		n.closed = true
+		stats.Expanded++
+		if tracer != nil {
+			tracer.Expanded(n.state, n.g)
+		}
+		if opts.MaxExpansions > 0 && stats.Expanded > opts.MaxExpansions {
+			res.Stats = stats
+			return res, ErrBudget
+		}
+		if lifo && opts.DepthLimit > 0 && n.depth >= opts.DepthLimit {
+			continue
+		}
+
+		var emitErr error
+		p.Successors(n.state, func(next S, edge Cost) {
+			if emitErr != nil {
+				return
+			}
+			if edge < 0 {
+				emitErr = ErrNegativeEdge
+				return
+			}
+			stats.Generated++
+			if _, ok := all[next]; ok {
+				return // already active or closed; blind search never reopens
+			}
+			nn := &node[S]{state: next, parent: n, g: n.g + edge, depth: n.depth + 1}
+			all[next] = nn
+			open = append(open, nn)
+			if tracer != nil {
+				tracer.Generated(next, nn.g)
+			}
+		})
+		if emitErr != nil {
+			res.Stats = stats
+			return res, emitErr
+		}
+	}
+	res.Stats = stats
+	return res, nil
+}
+
+// reconstruct follows parent pointers back to the start, as the paper
+// describes, and returns the path in start→goal order.
+func reconstruct[S comparable](n *node[S]) []S {
+	var rev []S
+	for m := n; m != nil; m = m.parent {
+		rev = append(rev, m.state)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

@@ -1,0 +1,207 @@
+package seq
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/plane"
+	"repro/internal/router"
+)
+
+// twoPin builds a two-terminal net between pad pins.
+func twoPin(name string, a, b geom.Point) layout.Net {
+	return layout.Net{
+		Name: name,
+		Terminals: []layout.Terminal{
+			{Name: "a", Pins: []layout.Pin{{Name: "p", Pos: a, Cell: layout.NoCell}}},
+			{Name: "b", Pins: []layout.Pin{{Name: "p", Pos: b, Cell: layout.NoCell}}},
+		},
+	}
+}
+
+func TestSequentialAddsDetours(t *testing.T) {
+	// Two crossing nets in an empty plane: independently both are straight
+	// (lengths 80 and 80); sequentially the second must climb around the
+	// first wire's halo.
+	l := &layout.Layout{
+		Name:   "cross",
+		Bounds: geom.R(0, 0, 100, 100),
+		Nets: []layout.Net{
+			twoPin("h", geom.Pt(10, 50), geom.Pt(90, 50)),
+			twoPin("v", geom.Pt(50, 10), geom.Pt(50, 90)),
+		},
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Route(l, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failed) != 0 {
+		t.Fatalf("failures: %v", res.Failed)
+	}
+	// Net h routes straight (80); net v must detour around h's wire
+	// obstacle: total > 160.
+	if res.TotalLength <= 160 {
+		t.Fatalf("sequential total %d should exceed independent 160", res.TotalLength)
+	}
+	// The independent regime keeps both nets at Manhattan length.
+	ix, err := plane.FromLayout(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ind, err := router.New(ix, router.Options{}).RouteLayout(l, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ind.TotalLength != 160 {
+		t.Fatalf("independent total = %d, want 160", ind.TotalLength)
+	}
+}
+
+func TestStrandedPinFailure(t *testing.T) {
+	// Net "wall" routes straight through y=50. Net "victim" has a pin at
+	// (50,51) — strictly inside the wall wire's halo (inflate 2) — and is
+	// routed second: it must fail with a stranded pin. Routing shortest
+	// first (victim is shorter) saves it.
+	l := &layout.Layout{
+		Name:   "strand",
+		Bounds: geom.R(0, 0, 100, 100),
+		Nets: []layout.Net{
+			twoPin("wall", geom.Pt(0, 50), geom.Pt(100, 50)),
+			twoPin("victim", geom.Pt(50, 51), geom.Pt(60, 60)),
+		},
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Route(l, Options{WireHalo: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failed) != 1 || res.Failed[0] != "victim" {
+		t.Fatalf("expected victim to be stranded: %v", res.Failed)
+	}
+	// Ordering matters — the paper's point. Shortest first routes the
+	// victim before the wall exists.
+	res2, err := Route(l, Options{WireHalo: 2, Ordering: ShortestFirst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Failed) != 0 {
+		t.Fatalf("shortest-first should route both: %v", res2.Failed)
+	}
+}
+
+func TestOrderings(t *testing.T) {
+	l := &layout.Layout{
+		Name:   "order",
+		Bounds: geom.R(0, 0, 100, 100),
+		Nets: []layout.Net{
+			twoPin("short", geom.Pt(0, 0), geom.Pt(5, 5)),
+			twoPin("long", geom.Pt(0, 10), geom.Pt(90, 90)),
+			twoPin("mid", geom.Pt(20, 20), geom.Pt(50, 40)),
+		},
+	}
+	got := order(l, LongestFirst)
+	if got[0] != 1 || got[2] != 0 {
+		t.Errorf("LongestFirst = %v", got)
+	}
+	got = order(l, ShortestFirst)
+	if got[0] != 0 || got[2] != 1 {
+		t.Errorf("ShortestFirst = %v", got)
+	}
+	got = order(l, LayoutOrder)
+	if got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Errorf("LayoutOrder = %v", got)
+	}
+}
+
+func TestSequentialCostsMoreSearch(t *testing.T) {
+	// A crossbar: four horizontal nets routed first become full-width wire
+	// obstacles, so the four vertical nets that follow must search their
+	// way around — more expansions and more wire than the independent
+	// regime, which routes every net straight.
+	l := &layout.Layout{Name: "crossbar", Bounds: geom.R(0, 0, 200, 200)}
+	for i := 0; i < 4; i++ {
+		y := geom.Coord(40 + 40*i)
+		l.Nets = append(l.Nets, twoPin(fmt.Sprintf("h%d", i), geom.Pt(10, y), geom.Pt(190, y)))
+	}
+	for i := 0; i < 4; i++ {
+		x := geom.Coord(40 + 40*i)
+		l.Nets = append(l.Nets, twoPin(fmt.Sprintf("v%d", i), geom.Pt(x, 10), geom.Pt(x, 190)))
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	seqRes, err := Route(l, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := plane.FromLayout(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ind, err := router.New(ix, router.Options{}).RouteLayout(l, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ind.Failed) != 0 {
+		t.Fatalf("independent failures: %v", ind.Failed)
+	}
+	if ind.TotalLength != 8*180 {
+		t.Fatalf("independent crossbar should be all-straight: %d", ind.TotalLength)
+	}
+	// Sequential must pay for wire avoidance: either failures appear or
+	// both work and wirelength strictly increase.
+	if len(seqRes.Failed) == 0 {
+		if seqRes.Stats.Expanded <= ind.Stats.Expanded {
+			t.Fatalf("sequential should search more: %d vs %d",
+				seqRes.Stats.Expanded, ind.Stats.Expanded)
+		}
+		if seqRes.TotalLength <= ind.TotalLength {
+			t.Fatalf("sequential should be longer: %d vs %d",
+				seqRes.TotalLength, ind.TotalLength)
+		}
+	}
+	t.Logf("sequential: failed=%d expanded=%d length=%d | independent: expanded=%d length=%d",
+		len(seqRes.Failed), seqRes.Stats.Expanded, seqRes.TotalLength,
+		ind.Stats.Expanded, ind.TotalLength)
+}
+
+func TestOrderingString(t *testing.T) {
+	if LayoutOrder.String() != "layout-order" || LongestFirst.String() != "longest-first" ||
+		ShortestFirst.String() != "shortest-first" || Ordering(9).String() != "unknown" {
+		t.Error("Ordering.String broken")
+	}
+}
+
+func TestSequentialDeterminism(t *testing.T) {
+	l := &layout.Layout{Name: "det", Bounds: geom.R(0, 0, 200, 200)}
+	for i := 0; i < 4; i++ {
+		y := geom.Coord(40 + 40*i)
+		l.Nets = append(l.Nets, twoPin(fmt.Sprintf("h%d", i), geom.Pt(10, y), geom.Pt(190, y)))
+		x := geom.Coord(40 + 40*i)
+		l.Nets = append(l.Nets, twoPin(fmt.Sprintf("v%d", i), geom.Pt(x, 10), geom.Pt(x, 190)))
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	first, err := Route(l, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 3; run++ {
+		again, err := Route(l, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.TotalLength != first.TotalLength || len(again.Failed) != len(first.Failed) ||
+			again.Stats.Expanded != first.Stats.Expanded {
+			t.Fatalf("run %d differs: %+v vs %+v", run, again, first)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Package steiner provides the wirelength metrics used to judge route
+// quality: half-perimeter wirelength, the Prim minimum spanning tree over
+// pins, Hwang's rectilinear-Steiner lower bound, and a connectivity
+// validator for routed trees.
+//
+// The paper approximates a Steiner tree "with an adaptation of Dijkstra's
+// minimum spanning tree algorithm" in which partial-tree segments are
+// connection points. These metrics quantify how much that adaptation saves
+// over the plain pin-to-pin spanning tree (tests) and how close the result
+// comes to the Steiner optimum (the Hwang bound).
+package steiner
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// HPWL returns the half-perimeter wirelength of the points' bounding box —
+// the classical lower bound on any tree connecting them. Zero points give
+// zero.
+func HPWL(pts []geom.Point) geom.Coord {
+	if len(pts) == 0 {
+		return 0
+	}
+	bb := geom.R(pts[0].X, pts[0].Y, pts[0].X, pts[0].Y)
+	for _, p := range pts[1:] {
+		bb = bb.Union(geom.R(p.X, p.Y, p.X, p.Y))
+	}
+	return bb.HalfPerimeter()
+}
+
+// MST returns the length of the Manhattan-metric minimum spanning tree over
+// the points (Prim's algorithm, O(n²)). Fewer than two points give zero.
+func MST(pts []geom.Point) geom.Coord {
+	n := len(pts)
+	if n < 2 {
+		return 0
+	}
+	const inf = geom.Coord(1) << 62
+	inTree := make([]bool, n)
+	dist := make([]geom.Coord, n)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[0] = 0
+	var total geom.Coord
+	for k := 0; k < n; k++ {
+		best, bestD := -1, inf
+		for i := 0; i < n; i++ {
+			if !inTree[i] && dist[i] < bestD {
+				best, bestD = i, dist[i]
+			}
+		}
+		inTree[best] = true
+		total += bestD
+		for i := 0; i < n; i++ {
+			if !inTree[i] {
+				if d := pts[best].Manhattan(pts[i]); d < dist[i] {
+					dist[i] = d
+				}
+			}
+		}
+	}
+	return total
+}
+
+// RSMTLowerBound returns a lower bound on the rectilinear Steiner minimal
+// tree length: the larger of the half-perimeter bound and Hwang's bound
+// RSMT >= 2/3 * MST (Hwang 1976, cited by the paper as reference [7]).
+func RSMTLowerBound(pts []geom.Point) geom.Coord {
+	h := HPWL(pts)
+	m := MST(pts)
+	// ceil(2m/3) without floating point.
+	hw := (2*m + 2) / 3
+	return geom.Max(h, hw)
+}
+
+// TreeLength sums the segment lengths of a routed tree.
+func TreeLength(segs []geom.Seg) geom.Coord {
+	var total geom.Coord
+	for _, s := range segs {
+		total += s.Length()
+	}
+	return total
+}
+
+// ValidateTree checks that the routed segments form a connected structure
+// that reaches every required point. Segments connect when they share at
+// least one point (endpoint contact, crossing, or collinear overlap); a
+// required point is reached when it lies on some segment or coincides with
+// another required point that is reached. For nets whose pins coincide
+// (zero-length routes) an empty segment list is legal.
+func ValidateTree(segs []geom.Seg, required []geom.Point) error {
+	if len(required) == 0 {
+		return nil
+	}
+	if len(segs) == 0 {
+		for _, p := range required[1:] {
+			if p != required[0] {
+				return fmt.Errorf("steiner: no segments but %d distinct required points", len(required))
+			}
+		}
+		return nil
+	}
+	// Union-find over segments.
+	parent := make([]int, len(segs))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for i := range segs {
+		for j := i + 1; j < len(segs); j++ {
+			if segs[i].Intersects(segs[j]) {
+				union(i, j)
+			}
+		}
+	}
+	for i := 1; i < len(segs); i++ {
+		if find(i) != find(0) {
+			return fmt.Errorf("steiner: tree is disconnected (segment %v in a separate component)", segs[i])
+		}
+	}
+	for _, p := range required {
+		onTree := false
+		for _, s := range segs {
+			if s.Contains(p) {
+				onTree = true
+				break
+			}
+		}
+		if !onTree {
+			return fmt.Errorf("steiner: required point %v not on the tree", p)
+		}
+	}
+	return nil
+}

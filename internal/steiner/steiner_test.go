@@ -1,0 +1,198 @@
+package steiner
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func TestHPWL(t *testing.T) {
+	if HPWL(nil) != 0 {
+		t.Error("empty HPWL should be 0")
+	}
+	if HPWL([]geom.Point{geom.Pt(3, 4)}) != 0 {
+		t.Error("single-point HPWL should be 0")
+	}
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(10, 5), geom.Pt(3, 20)}
+	if got := HPWL(pts); got != 30 {
+		t.Errorf("HPWL = %d, want 30", got)
+	}
+}
+
+func TestMST(t *testing.T) {
+	if MST(nil) != 0 || MST([]geom.Point{geom.Pt(1, 1)}) != 0 {
+		t.Error("degenerate MST should be 0")
+	}
+	// Three collinear points: MST = 10.
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(4, 0), geom.Pt(10, 0)}
+	if got := MST(pts); got != 10 {
+		t.Errorf("collinear MST = %d, want 10", got)
+	}
+	// The classic T: pins (0,0),(20,0),(10,15). MST edges: 20 + 25 = ...
+	// distances: ab=20, ac=25, bc=25 → MST = 20+25 = 45.
+	tee := []geom.Point{geom.Pt(0, 0), geom.Pt(20, 0), geom.Pt(10, 15)}
+	if got := MST(tee); got != 45 {
+		t.Errorf("T MST = %d, want 45", got)
+	}
+}
+
+func TestRSMTLowerBound(t *testing.T) {
+	// T shape: Steiner optimum is 35 (trunk 20 + stem 15); bound must not
+	// exceed it and must be at least HPWL.
+	tee := []geom.Point{geom.Pt(0, 0), geom.Pt(20, 0), geom.Pt(10, 15)}
+	lb := RSMTLowerBound(tee)
+	if lb > 35 {
+		t.Errorf("lower bound %d exceeds the Steiner optimum 35", lb)
+	}
+	if lb < HPWL(tee) {
+		t.Errorf("lower bound %d below HPWL %d", lb, HPWL(tee))
+	}
+	// Hwang: 2/3 * 45 = 30; HPWL = 35 → bound 35.
+	if lb != 35 {
+		t.Errorf("bound = %d, want 35", lb)
+	}
+}
+
+func TestTreeLength(t *testing.T) {
+	segs := []geom.Seg{
+		geom.S(geom.Pt(0, 0), geom.Pt(20, 0)),
+		geom.S(geom.Pt(10, 0), geom.Pt(10, 15)),
+	}
+	if got := TreeLength(segs); got != 35 {
+		t.Errorf("TreeLength = %d, want 35", got)
+	}
+}
+
+func TestValidateTreeAccepts(t *testing.T) {
+	segs := []geom.Seg{
+		geom.S(geom.Pt(0, 0), geom.Pt(20, 0)),
+		geom.S(geom.Pt(10, 0), geom.Pt(10, 15)), // meets the trunk mid-span
+	}
+	req := []geom.Point{geom.Pt(0, 0), geom.Pt(20, 0), geom.Pt(10, 15)}
+	if err := ValidateTree(segs, req); err != nil {
+		t.Fatalf("valid tree rejected: %v", err)
+	}
+}
+
+func TestValidateTreeRejectsDisconnected(t *testing.T) {
+	segs := []geom.Seg{
+		geom.S(geom.Pt(0, 0), geom.Pt(5, 0)),
+		geom.S(geom.Pt(10, 10), geom.Pt(15, 10)),
+	}
+	if err := ValidateTree(segs, []geom.Point{geom.Pt(0, 0)}); err == nil {
+		t.Fatal("disconnected tree accepted")
+	}
+}
+
+func TestValidateTreeRejectsMissedPoint(t *testing.T) {
+	segs := []geom.Seg{geom.S(geom.Pt(0, 0), geom.Pt(5, 0))}
+	if err := ValidateTree(segs, []geom.Point{geom.Pt(9, 9)}); err == nil {
+		t.Fatal("point off the tree accepted")
+	}
+}
+
+func TestValidateTreeEmptyCases(t *testing.T) {
+	if err := ValidateTree(nil, nil); err != nil {
+		t.Error("empty everything should validate")
+	}
+	// All required points coincide: zero-length net, no segments needed.
+	p := geom.Pt(3, 3)
+	if err := ValidateTree(nil, []geom.Point{p, p}); err != nil {
+		t.Errorf("coincident pins should validate: %v", err)
+	}
+	if err := ValidateTree(nil, []geom.Point{p, geom.Pt(4, 4)}); err == nil {
+		t.Error("distinct pins with no segments must fail")
+	}
+}
+
+// TestBoundsOrderingProperty: for random point sets,
+// RSMTLowerBound <= MST must always hold (the Steiner tree can never be
+// longer than the spanning tree), and HPWL <= MST.
+func TestBoundsOrderingProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		count := int(n%10) + 2
+		pts := make([]geom.Point, count)
+		for i := range pts {
+			pts[i] = geom.Pt(int64(r.Intn(1000)), int64(r.Intn(1000)))
+		}
+		m := MST(pts)
+		return RSMTLowerBound(pts) <= m && HPWL(pts) <= m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMSTMatchesBruteForce cross-checks Prim against exhaustive enumeration
+// of spanning trees on tiny point sets (n <= 5, via Kruskal on all edges).
+func TestMSTMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(4) + 2
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Pt(int64(r.Intn(50)), int64(r.Intn(50)))
+		}
+		return MST(pts) == kruskal(pts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// kruskal is an independent MST implementation for cross-checking.
+func kruskal(pts []geom.Point) geom.Coord {
+	n := len(pts)
+	type edge struct {
+		a, b int
+		d    geom.Coord
+	}
+	var edges []edge
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, edge{i, j, pts[i].Manhattan(pts[j])})
+		}
+	}
+	for i := range edges {
+		for j := i + 1; j < len(edges); j++ {
+			if edges[j].d < edges[i].d {
+				edges[i], edges[j] = edges[j], edges[i]
+			}
+		}
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	var total geom.Coord
+	for _, e := range edges {
+		if find(e.a) != find(e.b) {
+			parent[find(e.a)] = find(e.b)
+			total += e.d
+		}
+	}
+	return total
+}
+
+func BenchmarkMST32(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	pts := make([]geom.Point, 32)
+	for i := range pts {
+		pts[i] = geom.Pt(int64(r.Intn(10000)), int64(r.Intn(10000)))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MST(pts)
+	}
+}

@@ -1,0 +1,131 @@
+// Package viz renders layouts, routes and search traces as ASCII art —
+// the textual equivalent of the paper's figures. One character covers a
+// Scale x Scale region of the plane; the origin is at the lower left.
+package viz
+
+import (
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+)
+
+// Canvas is a character raster over a plane region.
+type Canvas struct {
+	bounds geom.Rect
+	scale  geom.Coord
+	w, h   int
+	cells  [][]byte
+}
+
+// NewCanvas creates a canvas covering bounds at the given scale (plane
+// units per character); scale <= 0 picks one that fits roughly 80 columns.
+func NewCanvas(bounds geom.Rect, scale geom.Coord) *Canvas {
+	if scale <= 0 {
+		scale = bounds.Width()/78 + 1
+	}
+	c := &Canvas{
+		bounds: bounds,
+		scale:  scale,
+		w:      int(bounds.Width()/scale) + 1,
+		h:      int(bounds.Height()/scale) + 1,
+	}
+	c.cells = make([][]byte, c.h)
+	for y := range c.cells {
+		c.cells[y] = []byte(strings.Repeat(".", c.w))
+	}
+	return c
+}
+
+// Scale returns the plane units per character.
+func (c *Canvas) Scale() geom.Coord { return c.scale }
+
+// Mark sets the character at the plane point (no-op outside the canvas).
+func (c *Canvas) Mark(p geom.Point, ch byte) {
+	x := int((p.X - c.bounds.MinX) / c.scale)
+	y := int((p.Y - c.bounds.MinY) / c.scale)
+	if x >= 0 && x < c.w && y >= 0 && y < c.h {
+		c.cells[y][x] = ch
+	}
+}
+
+// At reads back the character at a plane point ('\x00' outside).
+func (c *Canvas) At(p geom.Point) byte {
+	x := int((p.X - c.bounds.MinX) / c.scale)
+	y := int((p.Y - c.bounds.MinY) / c.scale)
+	if x >= 0 && x < c.w && y >= 0 && y < c.h {
+		return c.cells[y][x]
+	}
+	return 0
+}
+
+// FillRect marks every covered character of a plane rectangle.
+func (c *Canvas) FillRect(r geom.Rect, ch byte) {
+	for y := r.MinY; ; y += c.scale {
+		if y > r.MaxY {
+			y = r.MaxY
+		}
+		for x := r.MinX; ; x += c.scale {
+			if x > r.MaxX {
+				x = r.MaxX
+			}
+			c.Mark(geom.Pt(x, y), ch)
+			if x == r.MaxX {
+				break
+			}
+		}
+		if y == r.MaxY {
+			break
+		}
+	}
+}
+
+// DrawSeg marks the characters along an axis-parallel segment.
+func (c *Canvas) DrawSeg(s geom.Seg, ch byte) {
+	c.FillRect(s.Bounds(), ch)
+}
+
+// DrawPath marks a rectilinear polyline.
+func (c *Canvas) DrawPath(pts []geom.Point, ch byte) {
+	for i := 1; i < len(pts); i++ {
+		c.DrawSeg(geom.S(pts[i-1], pts[i]), ch)
+	}
+}
+
+// DrawLayout marks every cell ('#') and pin ('o').
+func (c *Canvas) DrawLayout(l *layout.Layout) {
+	for i := range l.Cells {
+		for _, r := range l.Cells[i].ObstacleRects() {
+			c.FillRect(r, '#')
+		}
+	}
+	for ni := range l.Nets {
+		for _, p := range l.Nets[ni].AllPins() {
+			c.Mark(p.Pos, 'o')
+		}
+	}
+}
+
+// String renders the canvas, top row first.
+func (c *Canvas) String() string {
+	var sb strings.Builder
+	sb.Grow((c.w + 1) * c.h)
+	for y := c.h - 1; y >= 0; y-- {
+		sb.Write(c.cells[y])
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Layout renders a layout with its routed segments in one call: cells '#',
+// pins 'o', wires '*'.
+func Layout(l *layout.Layout, wires [][]geom.Seg, scale geom.Coord) string {
+	c := NewCanvas(l.Bounds, scale)
+	c.DrawLayout(l)
+	for _, segs := range wires {
+		for _, s := range segs {
+			c.DrawSeg(s, '*')
+		}
+	}
+	return c.String()
+}

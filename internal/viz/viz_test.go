@@ -1,0 +1,112 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+)
+
+func TestCanvasBasics(t *testing.T) {
+	c := NewCanvas(geom.R(0, 0, 10, 10), 1)
+	c.Mark(geom.Pt(0, 0), 'S')
+	c.Mark(geom.Pt(10, 10), 'D')
+	c.Mark(geom.Pt(50, 50), 'X') // outside: ignored
+	out := c.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 11 {
+		t.Fatalf("want 11 rows, got %d", len(lines))
+	}
+	// Top row holds (·,10); D at x=10 is its last column.
+	if lines[0][10] != 'D' {
+		t.Errorf("top-right should be D: %q", lines[0])
+	}
+	if lines[10][0] != 'S' {
+		t.Errorf("bottom-left should be S: %q", lines[10])
+	}
+	if strings.Contains(out, "X") {
+		t.Error("outside mark must be ignored")
+	}
+	if c.At(geom.Pt(0, 0)) != 'S' || c.At(geom.Pt(99, 99)) != 0 {
+		t.Error("At readback broken")
+	}
+}
+
+func TestAutoScale(t *testing.T) {
+	c := NewCanvas(geom.R(0, 0, 7800, 100), 0)
+	if c.Scale() <= 0 {
+		t.Fatal("auto scale must be positive")
+	}
+	if c.w > 120 {
+		t.Fatalf("auto scale should keep width moderate, got %d", c.w)
+	}
+}
+
+func TestFillRectAndSeg(t *testing.T) {
+	c := NewCanvas(geom.R(0, 0, 20, 20), 2)
+	c.FillRect(geom.R(4, 4, 8, 8), '#')
+	for _, p := range []geom.Point{geom.Pt(4, 4), geom.Pt(8, 8), geom.Pt(6, 6), geom.Pt(8, 4)} {
+		if c.At(p) != '#' {
+			t.Errorf("rect fill missed %v", p)
+		}
+	}
+	if c.At(geom.Pt(10, 10)) == '#' {
+		t.Error("fill overshot")
+	}
+	c.DrawSeg(geom.S(geom.Pt(0, 14), geom.Pt(20, 14)), '*')
+	if c.At(geom.Pt(0, 14)) != '*' || c.At(geom.Pt(20, 14)) != '*' || c.At(geom.Pt(10, 14)) != '*' {
+		t.Error("segment draw incomplete")
+	}
+}
+
+func TestDrawLayoutAndWires(t *testing.T) {
+	l := &layout.Layout{
+		Name:   "v",
+		Bounds: geom.R(0, 0, 40, 40),
+		Cells: []layout.Cell{
+			{Name: "A", Box: geom.R(10, 10, 20, 20)},
+			{Name: "L", Poly: []geom.Point{
+				geom.Pt(24, 24), geom.Pt(36, 24), geom.Pt(36, 30),
+				geom.Pt(30, 30), geom.Pt(30, 36), geom.Pt(24, 36),
+			}},
+		},
+		Nets: []layout.Net{{
+			Name: "n",
+			Terminals: []layout.Terminal{
+				{Name: "a", Pins: []layout.Pin{{Name: "p", Pos: geom.Pt(10, 15), Cell: 0}}},
+				{Name: "b", Pins: []layout.Pin{{Name: "p", Pos: geom.Pt(24, 30), Cell: 1}}},
+			},
+		}},
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	out := Layout(l, [][]geom.Seg{{geom.S(geom.Pt(0, 0), geom.Pt(0, 40))}}, 2)
+	if !strings.Contains(out, "#") {
+		t.Error("cells not drawn")
+	}
+	if !strings.Contains(out, "o") {
+		t.Error("pins not drawn")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("wires not drawn")
+	}
+	// Polygon notch (34,34) must be free: not '#'.
+	c := NewCanvas(l.Bounds, 2)
+	c.DrawLayout(l)
+	if c.At(geom.Pt(34, 34)) == '#' {
+		t.Error("polygon notch should not be filled")
+	}
+	if c.At(geom.Pt(26, 26)) != '#' {
+		t.Error("polygon body should be filled")
+	}
+}
+
+func TestDrawPath(t *testing.T) {
+	c := NewCanvas(geom.R(0, 0, 10, 10), 1)
+	c.DrawPath([]geom.Point{geom.Pt(0, 0), geom.Pt(5, 0), geom.Pt(5, 5)}, '*')
+	if c.At(geom.Pt(3, 0)) != '*' || c.At(geom.Pt(5, 3)) != '*' {
+		t.Error("path legs missing")
+	}
+}
