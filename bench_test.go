@@ -274,6 +274,48 @@ func BenchmarkC5TwoPass(b *testing.B) {
 	}
 }
 
+// BenchmarkNegotiatedCongestion runs the N-pass negotiated engine on the
+// polygon chip and the macro grid, the two congestion-prone generated
+// scenes; passes/op is how many routing passes the loop needed and
+// overflow/op where overflow landed when it stopped (0 = converged).
+func BenchmarkNegotiatedCongestion(b *testing.B) {
+	scenes := []struct {
+		name  string
+		pitch geom.Coord
+		build func() (*layout.Layout, error)
+	}{
+		// Pitches are chosen so the first pass overflows and the loop needs
+		// 2 (PolyChip) and 3 (GridOfMacros) passes to drain it.
+		{"PolyChip", 16, func() (*layout.Layout, error) { return gen.PolyChip(11, 12, 30) }},
+		{"GridOfMacros", 16, func() (*layout.Layout, error) { return gen.GridOfMacros(4, 4, 60, 40, 12, 5) }},
+	}
+	for _, sc := range scenes {
+		l, err := sc.build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/workers%d", sc.name, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				var passes, overflow int
+				for i := 0; i < b.N; i++ {
+					res, err := congest.Negotiate(l, congest.Config{
+						Pitch: sc.pitch, Weight: 100, MaxPasses: 8,
+						Workers: workers, HistoryGain: 1,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					passes = len(res.Passes)
+					overflow = res.Passes[passes-1].Overflow
+				}
+				b.ReportMetric(float64(passes), "passes/op")
+				b.ReportMetric(float64(overflow), "overflow/op")
+			})
+		}
+	}
+}
+
 // funnelForBench mirrors the C5 experiment workload.
 func funnelForBench() *layout.Layout {
 	l := &layout.Layout{

@@ -251,6 +251,47 @@ func runC5(cfg runConfig) {
 	fmt.Println("  (the second pass trades wirelength for overflow relief, as the paper expects)")
 }
 
+// runC7 iterates the congestion loop to convergence: the negotiated engine
+// (present + history penalty) against the paper's single reroute on the
+// same funnel series.
+func runC7(cfg runConfig) {
+	t := &table{header: []string{"nets", "passes", "overflow trail", "converged",
+		"two-pass overflow", "final length"}}
+	sizes := []int{4, 8, 12}
+	if !cfg.quick {
+		sizes = append(sizes, 16)
+	}
+	for _, nNets := range sizes {
+		l := funnelLayout(nNets)
+		res, err := congest.Negotiate(l, congest.Config{
+			Pitch: 2, Weight: 60, MaxPasses: 8, Workers: 1, HistoryGain: 1,
+		})
+		if err != nil {
+			panic(err)
+		}
+		trail := ""
+		for i, p := range res.Passes {
+			if i > 0 {
+				trail += " -> "
+			}
+			trail += fmt.Sprint(p.Overflow)
+		}
+		two, err := congest.TwoPass(l, 2, 60, 1)
+		if err != nil {
+			panic(err)
+		}
+		twoOver := two.Before.TotalOverflow()
+		if two.After != nil {
+			twoOver = two.After.TotalOverflow()
+		}
+		t.add(nNets, len(res.Passes), trail, res.Converged, twoOver,
+			res.Passes[len(res.Passes)-1].TotalLength)
+	}
+	t.print()
+	fmt.Println("  (history keeps pressure on passages that overflowed before, so the loop")
+	fmt.Println("   keeps draining overflow after the single penalized pass has done all it can)")
+}
+
 // runC6 times the full flow: global routing versus the detailed
 // track-assignment stage, across growing chips.
 func runC6(cfg runConfig) {

@@ -5,6 +5,7 @@
 //	grouter -input chip.json                  # route and report
 //	grouter -input chip.json -corner -workers 8
 //	grouter -input chip.json -congestion -pitch 4 -weight 100
+//	grouter -input chip.json -congestion -passes 2 -history 0   # the paper's plain two-pass flow
 //	grouter -input chip.json -tracks          # include detailed tracks
 //	grouter -input chip.json -wires           # dump the routed wires
 package main
@@ -13,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro"
 	"repro/internal/viz"
@@ -23,9 +25,11 @@ func main() {
 		input      = flag.String("input", "", "layout JSON file (required)")
 		workers    = flag.Int("workers", 0, "routing workers (0 = GOMAXPROCS)")
 		corner     = flag.Bool("corner", false, "enable the inverted-corner epsilon rule")
-		congestion = flag.Bool("congestion", false, "run the two-pass congestion flow")
+		congestion = flag.Bool("congestion", false, "run the negotiated congestion flow")
 		pitch      = flag.Int64("pitch", 4, "wire pitch for congestion capacity")
 		weight     = flag.Int64("weight", 100, "detour accepted per congested crossing")
+		passes     = flag.Int("passes", 8, "max congestion passes (with -congestion)")
+		history    = flag.Int("history", 1, "history gain per past overflow (0 = paper's plain penalty)")
 		tracks     = flag.Bool("tracks", false, "run detailed track assignment")
 		wires      = flag.Bool("wires", false, "print the routed segments")
 		draw       = flag.Bool("draw", false, "render the routed layout as ASCII art")
@@ -50,20 +54,31 @@ func main() {
 		l.Name, s.Cells, s.Nets, s.Pins, s.Utilization)
 
 	if *congestion {
-		res, err := genroute.RouteWithCongestion(l, *pitch, *weight, *workers)
+		res, err := genroute.RouteNegotiated(l, genroute.CongestionConfig{
+			Pitch: *pitch, Weight: *weight, MaxPasses: *passes,
+			Workers: *workers, HistoryGain: *history,
+		})
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("pass 1: length=%d overflow=%d (over %d passages)\n",
-			res.First.TotalLength, res.Before.TotalOverflow(), len(res.Before.Overflowed()))
-		if res.Second == nil {
-			fmt.Println("no congestion: single pass suffices")
-			report(l, res.First, *tracks, *wires, *draw)
-			return
+		for i, p := range res.Passes {
+			fmt.Printf("pass %d: length=%d overflow=%d (over %d passages), rerouted %d nets, %d layout expansions, pass took %v\n",
+				i+1, p.TotalLength, p.Overflow, p.Overflowed,
+				len(p.Rerouted), p.Stats.Expanded, p.Elapsed.Round(time.Microsecond))
 		}
-		fmt.Printf("pass 2: rerouted %d nets, length=%d overflow=%d\n",
-			len(res.Rerouted), res.Second.TotalLength, res.After.TotalOverflow())
-		report(l, res.Second, *tracks, *wires, *draw)
+		switch {
+		case res.Converged && len(res.Passes) == 1:
+			fmt.Println("no congestion: single pass suffices")
+		case res.Converged:
+			fmt.Printf("converged: zero overflow after %d passes\n", len(res.Passes))
+		case res.Stalled:
+			fmt.Printf("stalled after %d passes with overflow %d (raise -weight or -history)\n",
+				len(res.Passes), res.FinalMap().TotalOverflow())
+		default:
+			fmt.Printf("pass budget exhausted after %d passes with overflow %d\n",
+				len(res.Passes), res.FinalMap().TotalOverflow())
+		}
+		report(l, res.Final(), *tracks, *wires, *draw)
 		return
 	}
 

@@ -243,10 +243,32 @@ func netConnected(n *Net, segs []Seg) error {
 	return nil
 }
 
+// CongestionConfig parameterizes the negotiated-congestion engine: Pitch
+// sets passage capacity, Weight the base detour per congested crossing,
+// MaxPasses the pass budget, Workers the reroute parallelism, and
+// HistoryGain the PathFinder-style accumulated-overflow term (0 reproduces
+// the paper's plain penalty).
+type CongestionConfig = congest.Config
+
+// NegotiatedResult reports an N-pass negotiated-congestion run: per-pass
+// overflow/length/effort summaries, the full routing state and congestion
+// map after every pass, and whether the loop converged to zero overflow.
+type NegotiatedResult = congest.NegotiateResult
+
+// RouteNegotiated iterates the paper's congestion loop to convergence:
+// route every net, measure passage overflow, reroute the affected nets with
+// a present-plus-history penalty, and repeat until overflow reaches zero or
+// the pass budget runs out. Reroute passes parallelize across cfg.Workers
+// with results independent of the worker count.
+func RouteNegotiated(l *Layout, cfg CongestionConfig) (*NegotiatedResult, error) {
+	return congest.Negotiate(l, cfg)
+}
+
 // RouteWithCongestion runs the paper's two-pass congestion flow: route all
 // nets, find overflowed passages at the given wiring pitch, and reroute the
 // affected nets with a penalty of `weight` length units per congested
-// crossing.
+// crossing. It is a thin wrapper over the two-pass, zero-history special
+// case of RouteNegotiated.
 func RouteWithCongestion(l *Layout, pitch, weight int64, workers int) (*CongestionResult, error) {
 	return congest.TwoPass(l, pitch, weight, workers)
 }

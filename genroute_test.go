@@ -231,6 +231,20 @@ func TestCongestionFlowFacade(t *testing.T) {
 	}
 }
 
+func TestRouteNegotiatedFacade(t *testing.T) {
+	l := demoLayout()
+	res, err := RouteNegotiated(l, CongestionConfig{Pitch: 4, Weight: 100, MaxPasses: 4, Workers: 2, HistoryGain: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Passes) == 0 {
+		t.Fatal("at least one pass must run")
+	}
+	if err := CheckConnectivity(l, res.Final()); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestAssignTracksFacade(t *testing.T) {
 	l := demoLayout()
 	r, err := NewRouter(l)

@@ -9,14 +9,17 @@
 // Extract enumerates the passages — free corridors between facing cells and
 // between cells and the routing boundary — with a wire capacity derived
 // from the gap width and the wiring pitch. BuildMap counts how many nets
-// run through each passage. TwoPass routes a layout, finds the overflowed
-// passages, and reroutes exactly the affected nets with a cost penalty on
-// those passages.
+// run through each passage. Negotiate iterates the paper's reroute loop to
+// convergence, PathFinder-style: each pass reroutes the nets through
+// overflowed passages with a penalty that combines the present overflow with
+// an accumulating history of past overflow. TwoPass is the paper's original
+// two-pass flow, now a thin wrapper over the engine.
 package congest
 
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/geom"
 	"repro/internal/layout"
@@ -137,6 +140,74 @@ func Extract(ix *plane.Index, pitch geom.Coord) ([]Passage, error) {
 	return out, nil
 }
 
+// sectionEntry is one passage cross-section filed in a sectionIndex: the
+// fixed coordinate of the section line and its span along the other axis.
+type sectionEntry struct {
+	At      geom.Coord // the section's fixed coordinate (y if horizontal)
+	Lo, Hi  geom.Coord // the section's extent along its own axis
+	Passage int        // index into Map.Passages
+}
+
+// sectionIndex answers "which passage cross-sections does this axis-parallel
+// segment touch" by binary search instead of a linear scan over every
+// passage. Horizontal and vertical sections are filed separately, each
+// sorted by the fixed coordinate of the section line; a query walks only the
+// entries whose line falls inside the travel segment's bounding box. The
+// contact rule is exactly geom.Seg.Intersects (bounding boxes overlap), so
+// replacing the scan never changes which crossings are counted.
+type sectionIndex struct {
+	horiz []sectionEntry // sorted by At (the section's y)
+	vert  []sectionEntry // sorted by At (the section's x)
+}
+
+func newSectionIndex(passages []Passage) *sectionIndex {
+	ix := &sectionIndex{}
+	for pi, p := range passages {
+		xs := p.CrossSection()
+		e := sectionEntry{Passage: pi}
+		if xs.Horizontal() {
+			e.At = xs.A.Y
+			e.Lo, e.Hi = geom.Min(xs.A.X, xs.B.X), geom.Max(xs.A.X, xs.B.X)
+			ix.horiz = append(ix.horiz, e)
+		} else {
+			e.At = xs.A.X
+			e.Lo, e.Hi = geom.Min(xs.A.Y, xs.B.Y), geom.Max(xs.A.Y, xs.B.Y)
+			ix.vert = append(ix.vert, e)
+		}
+	}
+	byAt := func(es []sectionEntry) func(a, b int) bool {
+		return func(a, b int) bool {
+			if es[a].At != es[b].At {
+				return es[a].At < es[b].At
+			}
+			return es[a].Passage < es[b].Passage
+		}
+	}
+	sort.Slice(ix.horiz, byAt(ix.horiz))
+	sort.Slice(ix.vert, byAt(ix.vert))
+	return ix
+}
+
+// visit calls fn for every passage whose cross-section the travel segment
+// touches, in unspecified order, each at most once per call.
+func (ix *sectionIndex) visit(travel geom.Seg, fn func(pi int)) {
+	b := travel.Bounds() // normalized min/max corners
+	scanSections(ix.horiz, b.MinY, b.MaxY, b.MinX, b.MaxX, fn)
+	scanSections(ix.vert, b.MinX, b.MaxX, b.MinY, b.MaxY, fn)
+}
+
+// scanSections visits entries whose line coordinate lies in [atLo, atHi] and
+// whose span overlaps [spanLo, spanHi] (closed ranges: endpoint contact
+// counts, matching Seg.Intersects).
+func scanSections(entries []sectionEntry, atLo, atHi, spanLo, spanHi geom.Coord, fn func(pi int)) {
+	i := sort.Search(len(entries), func(i int) bool { return entries[i].At >= atLo })
+	for ; i < len(entries) && entries[i].At <= atHi; i++ {
+		if e := entries[i]; e.Lo <= spanHi && e.Hi >= spanLo {
+			fn(e.Passage)
+		}
+	}
+}
+
 // Map is the congestion state of a routed layout.
 type Map struct {
 	// Passages lists the corridors.
@@ -145,26 +216,40 @@ type Map struct {
 	Usage []int
 	// netsThrough records which net indices use each passage.
 	netsThrough [][]int
+	// index locates cross-sections without scanning all passages.
+	index *sectionIndex
 }
 
 // BuildMap counts passage usage for a set of routed nets (one segment list
 // per net).
 func BuildMap(passages []Passage, nets [][]geom.Seg) *Map {
+	return buildMapWithIndex(passages, newSectionIndex(passages), nets)
+}
+
+// buildMapWithIndex is BuildMap over a prebuilt section index; Negotiate
+// reuses one index across passes since the passage set never changes.
+func buildMapWithIndex(passages []Passage, index *sectionIndex, nets [][]geom.Seg) *Map {
 	m := &Map{
 		Passages:    passages,
 		Usage:       make([]int, len(passages)),
 		netsThrough: make([][]int, len(passages)),
+		index:       index,
 	}
-	for pi, p := range passages {
-		xs := p.CrossSection()
-		for ni, segs := range nets {
-			for _, s := range segs {
-				if s.Intersects(xs) {
+	// lastNet de-duplicates per net: a net crossing a section with several
+	// segments still counts once.
+	lastNet := make([]int, len(passages))
+	for i := range lastNet {
+		lastNet[i] = -1
+	}
+	for ni, segs := range nets {
+		for _, s := range segs {
+			m.index.visit(s, func(pi int) {
+				if lastNet[pi] != ni {
+					lastNet[pi] = ni
 					m.Usage[pi]++
 					m.netsThrough[pi] = append(m.netsThrough[pi], ni)
-					break
 				}
-			}
+			})
 		}
 	}
 	return m
@@ -213,21 +298,221 @@ func (m *Map) AffectedNets() []int {
 // detour: a route will divert around the congestion whenever the detour
 // costs less than weight per crossing.
 func (m *Map) PenaltyFn(weight geom.Coord) router.PenaltyFn {
-	over := m.Overflowed()
-	sections := make([]geom.Seg, len(over))
-	for i, pi := range over {
-		sections[i] = m.Passages[pi].CrossSection()
+	return m.HistoryPenalty(weight, 0, nil)
+}
+
+// HistoryPenalty is the negotiated-congestion cost term. Crossing passage pi
+// costs weight*(present + gain*history[pi]) length units, where present is 1
+// for passages currently over capacity and 0 otherwise. The history term
+// keeps pressure on passages that overflowed in earlier passes even after
+// they recover, which damps the oscillation a pure present-cost loop shows
+// (nets dodging congestion in lockstep and recreating it elsewhere). gain 0
+// or a nil history reduces to the paper's plain two-pass penalty. Lookup is
+// by section index, not a scan over all passages per expansion.
+func (m *Map) HistoryPenalty(weight geom.Coord, gain int, history []int) router.PenaltyFn {
+	per := make([]search.Cost, len(m.Passages))
+	priced := false
+	for pi := range m.Passages {
+		var units geom.Coord
+		if m.Usage[pi] > m.Passages[pi].Capacity {
+			units = 1
+		}
+		if gain > 0 && pi < len(history) {
+			units += geom.Coord(gain) * geom.Coord(history[pi])
+		}
+		if units > 0 {
+			per[pi] = router.Scale * search.Cost(weight*units)
+			priced = true
+		}
+	}
+	if !priced {
+		return func(from, to geom.Point) search.Cost { return 0 }
+	}
+	index := m.index
+	if index == nil { // Map assembled by hand rather than BuildMap
+		index = newSectionIndex(m.Passages)
 	}
 	return func(from, to geom.Point) search.Cost {
 		var penalty search.Cost
-		travel := geom.S(from, to)
-		for _, xs := range sections {
-			if travel.Intersects(xs) {
-				penalty += router.Scale * search.Cost(weight)
-			}
-		}
+		index.visit(geom.S(from, to), func(pi int) { penalty += per[pi] })
 		return penalty
 	}
+}
+
+// DefaultMaxPasses bounds Negotiate when Config.MaxPasses is zero.
+const DefaultMaxPasses = 8
+
+// Config parameterizes the negotiated-congestion engine.
+type Config struct {
+	// Pitch is the wire pitch used for passage capacity (must be > 0).
+	Pitch geom.Coord
+	// Weight is the base detour, in length units, a route accepts to avoid
+	// one congested crossing.
+	Weight geom.Coord
+	// MaxPasses bounds the loop (counting the initial route as pass 1);
+	// zero means DefaultMaxPasses.
+	MaxPasses int
+	// Workers as in Router.RouteLayout; reroute passes use the same worker
+	// pool as the first pass, and the outcome is worker-count independent.
+	Workers int
+	// HistoryGain scales the accumulated overflow history in the penalty
+	// (see Map.HistoryPenalty). Zero disables history: every reroute pass
+	// then prices only present overflow, as the paper's second pass does.
+	HistoryGain int
+}
+
+// Pass summarizes one pass of the negotiated loop.
+type Pass struct {
+	// Overflow is the total passage overflow after the pass.
+	Overflow int
+	// Overflowed counts passages over capacity after the pass.
+	Overflowed int
+	// Rerouted lists the nets rerouted in the pass (empty for pass 1,
+	// which routes everything penalty-free).
+	Rerouted []string
+	// TotalLength is the whole-layout wirelength after the pass.
+	TotalLength geom.Coord
+	// Stats is the whole-layout search effort after the pass (carried-over
+	// nets keep their earlier effort, so passes are comparable).
+	Stats search.Stats
+	// Elapsed is the wall-clock time of the pass.
+	Elapsed time.Duration
+}
+
+// NegotiateResult reports an N-pass negotiated-congestion run.
+type NegotiateResult struct {
+	// Results holds the whole-layout routing state after each pass.
+	Results []*router.LayoutResult
+	// Maps holds the congestion map after each pass.
+	Maps []*Map
+	// Passes summarizes each pass, in order.
+	Passes []Pass
+	// History is the final per-passage overflow history (the number of
+	// passes each passage ended over capacity).
+	History []int
+	// Converged reports that the final pass has zero overflow.
+	Converged bool
+	// Stalled reports that the loop stopped early because a pass changed
+	// no route and no history term could alter future passes.
+	Stalled bool
+}
+
+// Final returns the routing state after the last pass.
+func (r *NegotiateResult) Final() *router.LayoutResult {
+	return r.Results[len(r.Results)-1]
+}
+
+// FinalMap returns the congestion map after the last pass.
+func (r *NegotiateResult) FinalMap() *Map { return r.Maps[len(r.Maps)-1] }
+
+func (r *NegotiateResult) record(lr *router.LayoutResult, m *Map, rerouted []string) {
+	r.Results = append(r.Results, lr)
+	r.Maps = append(r.Maps, m)
+	r.Passes = append(r.Passes, Pass{
+		Overflow:    m.TotalOverflow(),
+		Overflowed:  len(m.Overflowed()),
+		Rerouted:    rerouted,
+		TotalLength: lr.TotalLength,
+		Stats:       lr.Stats,
+		Elapsed:     lr.Elapsed,
+	})
+}
+
+// Negotiate iterates the paper's congestion loop to convergence. Pass 1
+// routes every net penalty-free and measures passage overflow; each later
+// pass reroutes only the nets through overflowed passages, pricing a
+// congested crossing by present overflow plus the accumulated history of
+// past overflow (Map.HistoryPenalty), and re-measures. The loop stops when
+// overflow reaches zero (Converged), when MaxPasses is exhausted, or when a
+// pass changes nothing and — with HistoryGain zero — no future pass could
+// differ (Stalled). Reroute passes run on the same worker pool as the first
+// pass; since nets are routed independently, any worker count yields
+// identical results.
+func Negotiate(l *layout.Layout, cfg Config) (*NegotiateResult, error) {
+	ix, err := plane.FromLayout(l)
+	if err != nil {
+		return nil, err
+	}
+	passages, err := Extract(ix, cfg.Pitch)
+	if err != nil {
+		return nil, err
+	}
+	maxPasses := cfg.MaxPasses
+	if maxPasses <= 0 {
+		maxPasses = DefaultMaxPasses
+	}
+
+	first, err := router.New(ix, router.Options{}).RouteLayout(l, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	res := &NegotiateResult{History: make([]int, len(passages))}
+	index := newSectionIndex(passages)
+	cur, m := first, buildMapWithIndex(passages, index, netSegs(first))
+	res.record(cur, m, nil)
+
+	for len(res.Passes) < maxPasses {
+		over := m.Overflowed()
+		if len(over) == 0 {
+			break
+		}
+		for _, pi := range over {
+			res.History[pi]++
+		}
+		affected := m.AffectedNets()
+		start := time.Now()
+		penalized := router.New(ix, router.Options{
+			Cost: router.PenaltyCost{
+				Penalty: m.HistoryPenalty(cfg.Weight, cfg.HistoryGain, res.History),
+			},
+		})
+		routes, err := penalized.RouteNets(l, affected, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		next := &router.LayoutResult{Nets: append([]router.NetRoute(nil), cur.Nets...)}
+		rerouted := make([]string, 0, len(affected))
+		changed := false
+		for k, ni := range affected {
+			if !sameRoute(&next.Nets[ni], &routes[k]) {
+				changed = true
+			}
+			next.Nets[ni] = routes[k]
+			rerouted = append(rerouted, l.Nets[ni].Name)
+		}
+		next.Finalize(start)
+		cur, m = next, buildMapWithIndex(passages, index, netSegs(next))
+		res.record(cur, m, rerouted)
+		if !changed && cfg.HistoryGain <= 0 {
+			// Fixed point: the same penalties would reproduce the same
+			// routes forever. With history the penalty keeps growing, so
+			// an unchanged pass is not final and the loop continues.
+			res.Stalled = true
+			break
+		}
+	}
+	// The loop accrues history before each reroute, so overflow left in
+	// the final map has not been counted yet; fold it in so History means
+	// what it says on every exit path (a no-op when converged).
+	for _, pi := range m.Overflowed() {
+		res.History[pi]++
+	}
+	res.Converged = m.TotalOverflow() == 0
+	return res, nil
+}
+
+// sameRoute reports whether two routes of the same net have identical
+// geometry (search effort may differ between passes).
+func sameRoute(a, b *router.NetRoute) bool {
+	if a.Found != b.Found || a.Length != b.Length || len(a.Segments) != len(b.Segments) {
+		return false
+	}
+	for i := range a.Segments {
+		if a.Segments[i] != b.Segments[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // PassResult reports a two-pass congestion run.
@@ -244,50 +529,23 @@ type PassResult struct {
 
 // TwoPass implements the paper's two-pass flow over a layout: route all
 // nets, find congested passages, reroute only the affected nets with the
-// congestion penalty, and report both states. pitch sets passage capacity;
+// congestion penalty, and report both states. It is the MaxPasses-2,
+// zero-history special case of Negotiate. pitch sets passage capacity;
 // weight is the detour the router will accept to avoid one overflowed
 // crossing; workers as in Router.RouteLayout.
 func TwoPass(l *layout.Layout, pitch, weight geom.Coord, workers int) (*PassResult, error) {
-	ix, err := plane.FromLayout(l)
-	if err != nil {
-		return nil, err
-	}
-	passages, err := Extract(ix, pitch)
-	if err != nil {
-		return nil, err
-	}
-	base := router.New(ix, router.Options{})
-	first, err := base.RouteLayout(l, workers)
-	if err != nil {
-		return nil, err
-	}
-	res := &PassResult{First: first}
-	res.Before = BuildMap(passages, netSegs(first))
-	affected := res.Before.AffectedNets()
-	if len(affected) == 0 {
-		return res, nil
-	}
-	// Second pass: reroute only the affected nets with the penalty active.
-	penalized := router.New(ix, router.Options{
-		Cost: router.PenaltyCost{Penalty: res.Before.PenaltyFn(weight)},
+	n, err := Negotiate(l, Config{
+		Pitch: pitch, Weight: weight, MaxPasses: 2, Workers: workers,
 	})
-	second := &router.LayoutResult{Nets: append([]router.NetRoute(nil), first.Nets...)}
-	for _, ni := range affected {
-		nr, err := penalized.RouteNet(&l.Nets[ni])
-		if err != nil {
-			return nil, err
-		}
-		second.Nets[ni] = nr
-		res.Rerouted = append(res.Rerouted, l.Nets[ni].Name)
+	if err != nil {
+		return nil, err
 	}
-	for i := range second.Nets {
-		second.TotalLength += second.Nets[i].Length
-		if !second.Nets[i].Found {
-			second.Failed = append(second.Failed, second.Nets[i].Net)
-		}
+	res := &PassResult{First: n.Results[0], Before: n.Maps[0]}
+	if len(n.Results) > 1 {
+		res.Second = n.Results[1]
+		res.After = n.Maps[1]
+		res.Rerouted = n.Passes[1].Rerouted
 	}
-	res.Second = second
-	res.After = BuildMap(passages, netSegs(second))
 	return res, nil
 }
 

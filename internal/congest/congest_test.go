@@ -258,6 +258,206 @@ func TestTwoPassNoCongestionShortCircuits(t *testing.T) {
 	}
 }
 
+func TestTwoPassSecondPassCarriesStats(t *testing.T) {
+	res, err := TwoPass(funnelLayout(6), 2, 150, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Second == nil {
+		t.Fatal("second pass should have run")
+	}
+	// The second pass splices rerouted nets into the first-pass result; its
+	// aggregates must cover the whole layout, not be dropped at zero.
+	if res.Second.Stats.Expanded < res.First.Stats.Expanded {
+		t.Errorf("second pass stats went backwards: %d < %d",
+			res.Second.Stats.Expanded, res.First.Stats.Expanded)
+	}
+	if res.Second.Elapsed <= 0 {
+		t.Errorf("second pass elapsed = %v, want > 0", res.Second.Elapsed)
+	}
+}
+
+// tightFunnel engineers a layout the negotiated engine needs at least three
+// passes to solve: a capacity-1 slit threaded by three nets whose detour
+// costs (88, 92, 96 length units around the bottom edge) all exceed the
+// pass-2 penalty of 2*weight but straddle the pass-3 penalty of 3*weight,
+// so overflow only clears once history has accrued for two passes.
+func tightFunnel() *layout.Layout {
+	l := &layout.Layout{
+		Name:   "tight-funnel",
+		Bounds: geom.R(0, 0, 200, 100),
+		Cells: []layout.Cell{
+			{Name: "lower", Box: geom.R(90, 0, 100, 48)},
+			{Name: "upper", Box: geom.R(90, 52, 100, 100)},
+		},
+	}
+	for i, y := range []geom.Coord{44, 46, 48} {
+		l.Nets = append(l.Nets, layout.Net{
+			Name: fmt.Sprintf("n%d", i),
+			Terminals: []layout.Terminal{
+				{Name: "w", Pins: []layout.Pin{{Name: "p", Pos: geom.Pt(10, y), Cell: layout.NoCell}}},
+				{Name: "e", Pins: []layout.Pin{{Name: "p", Pos: geom.Pt(190, y), Cell: layout.NoCell}}},
+			},
+		})
+	}
+	return l
+}
+
+func TestNegotiateNoOverflowReturnsAfterFirstPass(t *testing.T) {
+	l := funnelLayout(2) // 2 nets fit the capacity-3 slit
+	res, err := Negotiate(l, Config{Pitch: 2, Weight: 150, MaxPasses: 5, Workers: 1, HistoryGain: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("no-overflow layout should converge")
+	}
+	if len(res.Passes) != 1 {
+		t.Fatalf("passes = %d, want 1", len(res.Passes))
+	}
+	if res.Passes[0].Overflow != 0 || len(res.Passes[0].Rerouted) != 0 {
+		t.Errorf("pass 1 = %+v, want zero overflow and no reroutes", res.Passes[0])
+	}
+}
+
+func TestNegotiateNeedsThreePasses(t *testing.T) {
+	l := tightFunnel()
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Slit is 4 wide; pitch 5 gives capacity 1, so three nets overflow it
+	// by 2.
+	res, err := Negotiate(l, Config{Pitch: 5, Weight: 30, MaxPasses: 6, Workers: 1, HistoryGain: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("engine should reach zero overflow; passes: %+v", res.Passes)
+	}
+	if got := len(res.Passes); got < 3 {
+		t.Fatalf("converged in %d passes, the workload is engineered to need >= 3", got)
+	}
+	if res.FinalMap().TotalOverflow() != 0 {
+		t.Fatalf("final overflow = %d, want 0", res.FinalMap().TotalOverflow())
+	}
+	// Pass 2's penalty (2*weight = 60) is below every detour cost, so it
+	// must leave overflow untouched; only accrued history clears it.
+	if res.Passes[1].Overflow != res.Passes[0].Overflow {
+		t.Errorf("pass 2 overflow = %d, want unchanged %d",
+			res.Passes[1].Overflow, res.Passes[0].Overflow)
+	}
+	if last := res.Passes[len(res.Passes)-1]; last.TotalLength <= res.Passes[0].TotalLength {
+		t.Errorf("relieving congestion should cost wirelength: %d vs %d",
+			last.TotalLength, res.Passes[0].TotalLength)
+	}
+}
+
+func TestNegotiateStallsWithoutHistory(t *testing.T) {
+	// Weight 1 never justifies any detour and HistoryGain 0 means the
+	// penalties can never grow: the loop must detect the fixed point
+	// instead of burning MaxPasses identical reroutes.
+	res, err := Negotiate(funnelLayout(6), Config{Pitch: 2, Weight: 1, MaxPasses: 10, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("weight 1 cannot relieve the funnel")
+	}
+	if !res.Stalled {
+		t.Error("loop should report the fixed point as Stalled")
+	}
+	if len(res.Passes) >= 10 {
+		t.Errorf("stalled loop ran %d passes, should stop early", len(res.Passes))
+	}
+	// The slit stayed over capacity through every pass, and History counts
+	// passes ended over capacity — including the final one.
+	m := res.FinalMap()
+	for pi := range m.Passages {
+		if m.Passages[pi].Between == [2]int{0, 1} || m.Passages[pi].Between == [2]int{1, 0} {
+			if res.History[pi] != len(res.Passes) {
+				t.Errorf("slit history = %d, want %d", res.History[pi], len(res.Passes))
+			}
+		}
+	}
+}
+
+func TestNegotiateDeterministicAcrossWorkers(t *testing.T) {
+	for _, build := range []func() *layout.Layout{func() *layout.Layout { return funnelLayout(8) }, tightFunnel} {
+		l := build()
+		cfg := Config{Pitch: 2, Weight: 40, MaxPasses: 6, HistoryGain: 1}
+		cfg.Workers = 1
+		seq, err := Negotiate(l, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Workers = 4
+		par, err := Negotiate(l, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seq.Passes) != len(par.Passes) {
+			t.Fatalf("%s: pass count differs: %d vs %d", l.Name, len(seq.Passes), len(par.Passes))
+		}
+		for i := range seq.Passes {
+			s, p := seq.Passes[i], par.Passes[i]
+			if s.Overflow != p.Overflow || s.TotalLength != p.TotalLength ||
+				len(s.Rerouted) != len(p.Rerouted) {
+				t.Fatalf("%s: pass %d differs: %+v vs %+v", l.Name, i+1, s, p)
+			}
+		}
+		sf, pf := seq.Final(), par.Final()
+		for ni := range sf.Nets {
+			if !sameRoute(&sf.Nets[ni], &pf.Nets[ni]) {
+				t.Fatalf("%s: net %d routed differently with 4 workers", l.Name, ni)
+			}
+		}
+	}
+}
+
+func TestSectionIndexMatchesNaiveScan(t *testing.T) {
+	ix := mustPlane(t, geom.R(0, 0, 300, 300),
+		geom.R(20, 20, 80, 120), geom.R(120, 40, 200, 100),
+		geom.R(60, 160, 180, 240), geom.R(220, 140, 280, 260))
+	ps, err := Extract(ix, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := newSectionIndex(ps)
+	probes := []geom.Seg{}
+	for c := geom.Coord(0); c <= 300; c += 35 {
+		probes = append(probes,
+			geom.S(geom.Pt(0, c), geom.Pt(300, c)),    // full-width horizontal
+			geom.S(geom.Pt(c, 0), geom.Pt(c, 300)),    // full-height vertical
+			geom.S(geom.Pt(c, c), geom.Pt(c, c+40)),   // short vertical
+			geom.S(geom.Pt(c, 90), geom.Pt(c+50, 90)), // short horizontal
+		)
+	}
+	probes = append(probes, geom.S(geom.Pt(110, 110), geom.Pt(110, 110))) // degenerate
+	for _, travel := range probes {
+		naive := map[int]bool{}
+		for pi, p := range ps {
+			if travel.Intersects(p.CrossSection()) {
+				naive[pi] = true
+			}
+		}
+		got := map[int]bool{}
+		idx.visit(travel, func(pi int) {
+			if got[pi] {
+				t.Fatalf("probe %v: passage %d visited twice", travel, pi)
+			}
+			got[pi] = true
+		})
+		if len(got) != len(naive) {
+			t.Fatalf("probe %v: index found %d sections, naive %d", travel, len(got), len(naive))
+		}
+		for pi := range naive {
+			if !got[pi] {
+				t.Fatalf("probe %v: index missed passage %d", travel, pi)
+			}
+		}
+	}
+}
+
 func TestExtractDeterministic(t *testing.T) {
 	ix := mustPlane(t, geom.R(0, 0, 300, 300),
 		geom.R(20, 20, 80, 120), geom.R(120, 40, 200, 100), geom.R(60, 160, 180, 240))

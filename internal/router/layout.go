@@ -1,6 +1,7 @@
 package router
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
@@ -24,60 +25,14 @@ type LayoutResult struct {
 	Elapsed time.Duration
 }
 
-// RouteLayout routes every net of the layout. Because the paper routes each
-// net independently — the only obstacles are the cells, so there is no net
-// ordering and no interaction — the nets can be routed concurrently;
-// workers > 1 enables that, workers <= 0 uses GOMAXPROCS, and workers == 1
-// routes sequentially (used by benchmarks that time single-net work).
-func (r *Router) RouteLayout(l *layout.Layout, workers int) (*LayoutResult, error) {
-	start := time.Now()
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	res := &LayoutResult{Nets: make([]NetRoute, len(l.Nets))}
-
-	type job struct{ i int }
-	var firstErr error
-	if workers == 1 {
-		for i := range l.Nets {
-			nr, err := r.RouteNet(&l.Nets[i])
-			if err != nil {
-				return nil, err
-			}
-			res.Nets[i] = nr
-		}
-	} else {
-		jobs := make(chan job)
-		var wg sync.WaitGroup
-		var mu sync.Mutex
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for j := range jobs {
-					nr, err := r.RouteNet(&l.Nets[j.i])
-					if err != nil {
-						mu.Lock()
-						if firstErr == nil {
-							firstErr = err
-						}
-						mu.Unlock()
-						continue
-					}
-					res.Nets[j.i] = nr
-				}
-			}()
-		}
-		for i := range l.Nets {
-			jobs <- job{i}
-		}
-		close(jobs)
-		wg.Wait()
-		if firstErr != nil {
-			return nil, firstErr
-		}
-	}
-
+// Finalize recomputes the aggregate fields (TotalLength, Failed, Stats)
+// from Nets and stamps Elapsed relative to start. RouteLayout calls it after
+// routing every net; congestion passes call it after splicing rerouted nets
+// into a copy of the previous pass, so every pass reports comparable effort.
+func (res *LayoutResult) Finalize(start time.Time) {
+	res.TotalLength = 0
+	res.Failed = nil
+	res.Stats = search.Stats{}
 	for i := range res.Nets {
 		nr := &res.Nets[i]
 		res.TotalLength += nr.Length
@@ -92,5 +47,105 @@ func (r *Router) RouteLayout(l *layout.Layout, workers int) (*LayoutResult, erro
 		}
 	}
 	res.Elapsed = time.Since(start)
+}
+
+// RouteLayout routes every net of the layout. Because the paper routes each
+// net independently — the only obstacles are the cells, so there is no net
+// ordering and no interaction — the nets can be routed concurrently;
+// workers > 1 enables that, workers <= 0 uses GOMAXPROCS, and workers == 1
+// routes sequentially (used by benchmarks that time single-net work).
+func (r *Router) RouteLayout(l *layout.Layout, workers int) (*LayoutResult, error) {
+	start := time.Now()
+	res := &LayoutResult{Nets: make([]NetRoute, len(l.Nets))}
+	nets := make([]int, len(l.Nets))
+	for i := range nets {
+		nets[i] = i
+	}
+	if err := r.routeInto(l, nets, workers, res.Nets); err != nil {
+		return nil, err
+	}
+	res.Finalize(start)
 	return res, nil
+}
+
+// RouteNets routes only the given net indices, returning one NetRoute per
+// index in the same order. It shares RouteLayout's worker pool, so reroute
+// passes (the congestion engine) parallelize exactly like the first pass.
+// Because each net is routed independently against the cells only, the
+// result is identical for any worker count.
+func (r *Router) RouteNets(l *layout.Layout, nets []int, workers int) ([]NetRoute, error) {
+	for _, ni := range nets {
+		if ni < 0 || ni >= len(l.Nets) {
+			return nil, fmt.Errorf("router: net index %d out of range [0,%d)", ni, len(l.Nets))
+		}
+	}
+	out := make([]NetRoute, len(nets))
+	if err := r.routeInto(l, nets, workers, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// routeInto routes l.Nets[nets[k]] into out[k] for every k, sequentially for
+// workers == 1 and over a worker pool otherwise. On error the pool drains
+// promptly: the producer stops enqueuing and workers skip remaining jobs, so
+// no route is silently left zero-valued behind a reported success.
+func (r *Router) routeInto(l *layout.Layout, nets []int, workers int, out []NetRoute) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || len(nets) <= 1 {
+		for k, ni := range nets {
+			nr, err := r.RouteNet(&l.Nets[ni])
+			if err != nil {
+				return err
+			}
+			out[k] = nr
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range jobs {
+				if failed() {
+					continue // drain without routing once any worker erred
+				}
+				nr, err := r.RouteNet(&l.Nets[nets[k]])
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				out[k] = nr
+			}
+		}()
+	}
+	for k := range nets {
+		if failed() {
+			break // stop enqueuing: the result is already doomed
+		}
+		jobs <- k
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return nil
 }
