@@ -1,0 +1,153 @@
+// Command benchreport converts `go test -bench` output into a JSON record
+// so the benchmark trajectory of the repository can be committed and
+// diffed PR over PR (BENCH_<n>.json at the repo root).
+//
+// Usage:
+//
+//	go test -run=NONE -bench=. -benchmem . | go run ./cmd/benchreport -n 2
+//	go run ./cmd/benchreport -in bench.txt -o BENCH_2.json
+//
+// Every `Benchmark...` line is parsed into its name (GOMAXPROCS suffix
+// stripped), iteration count, ns/op, B/op, allocs/op, and any custom
+// metrics (expansions/op, passes/op, ...). Non-benchmark lines are
+// ignored, so raw `go test` output can be piped straight in.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the committed JSON document.
+type Report struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		in  = flag.String("in", "", "bench output file (default stdin)")
+		n   = flag.Int("n", -1, "write BENCH_<n>.json instead of stdout")
+		out = flag.String("o", "", "output file (overrides -n)")
+		ind = flag.Bool("indent", true, "indent the JSON")
+	)
+	flag.Parse()
+
+	src := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	rep, err := Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found"))
+	}
+
+	dst := os.Stdout
+	path := *out
+	if path == "" && *n >= 0 {
+		path = fmt.Sprintf("BENCH_%d.json", *n)
+	}
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		dst = f
+	}
+	enc := json.NewEncoder(dst)
+	if *ind {
+		enc.SetIndent("", "  ")
+	}
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+	if path != "" {
+		fmt.Fprintf(os.Stderr, "benchreport: wrote %d benchmarks to %s\n", len(rep.Benchmarks), path)
+	}
+}
+
+// Parse extracts benchmark lines from go test output.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: trimProcs(fields[0]), Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = val
+			case "B/op":
+				b.BytesPerOp = val
+			case "allocs/op":
+				b.AllocsPerOp = val
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[unit] = val
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// trimProcs strips the -N GOMAXPROCS suffix go test appends to names.
+func trimProcs(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchreport:", err)
+	os.Exit(1)
+}

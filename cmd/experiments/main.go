@@ -40,6 +40,7 @@ var experiments = []experiment{
 	{"C5", "Claim: a congestion-penalized second pass relieves overflow", runC5},
 	{"C6", "Claim: global routing is cheaper than detailed routing", runC6},
 	{"C7", "Extension: N-pass negotiated congestion drains overflow to zero", runC7},
+	{"C8", "Extension: macro-scale routing (32x32 macro grid, thousands of nets)", runC8},
 	{"A1", "Ablation: admissibility versus the Lee-Moore optimum", runA1},
 	{"A2", "Ablation: heuristic weight (blind ... admissible ... inflated)", runA2},
 	{"E1", "Extension: orthogonal-polygon cell outlines", runE1},

@@ -4,6 +4,7 @@
 //
 //	genlayout -kind random -seed 1 -cells 20 -nets 40 > chip.json
 //	genlayout -kind grid -rows 4 -cols 5 > grid.json
+//	genlayout -kind macro -rows 32 -cols 32 -cellw 40 -cellh 30 -gap 12 > macro.json
 //	genlayout -kind padring -pads 24 -cells 8 > ring.json
 package main
 
@@ -17,7 +18,7 @@ import (
 
 func main() {
 	var (
-		kind    = flag.String("kind", "random", "layout kind: random, grid, padring")
+		kind    = flag.String("kind", "random", "layout kind: random, grid, macro, padring")
 		seed    = flag.Int64("seed", 1, "random seed")
 		cells   = flag.Int("cells", 20, "cell count (random, padring core)")
 		nets    = flag.Int("nets", 0, "net count (random; 0 = 2x cells)")
@@ -49,6 +50,8 @@ func main() {
 		})
 	case "grid":
 		l, err = genroute.GridOfMacros(*rows, *cols, *cellW, *cellH, *gap, *seed)
+	case "macro":
+		l, err = genroute.MacroGrid(*rows, *cols, *cellW, *cellH, *gap, *seed)
 	case "padring":
 		l, err = genroute.PadRing(*pads, *cells, *seed)
 	default:

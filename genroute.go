@@ -318,6 +318,13 @@ func GridOfMacros(rows, cols int, cellW, cellH, gap int64, seed int64) (*Layout,
 	return gen.GridOfMacros(rows, cols, cellW, cellH, gap, seed)
 }
 
+// MacroGrid generates the macro-scale datapath workload: a rows x cols
+// macro array with horizontal and vertical neighbor buses, column control
+// nets, and cross-chip nets (32x32 gives 1024 cells and over 2000 nets).
+func MacroGrid(rows, cols int, cellW, cellH, gap int64, seed int64) (*Layout, error) {
+	return gen.MacroGrid(rows, cols, cellW, cellH, gap, seed)
+}
+
 // PadRing generates a pad ring around a random core.
 func PadRing(pads, coreCells int, seed int64) (*Layout, error) {
 	return gen.PadRing(pads, coreCells, seed)

@@ -216,6 +216,94 @@ func GridOfMacros(rows, cols int, cellW, cellH, gap geom.Coord, seed int64) (*la
 	return l, nil
 }
 
+// MacroGrid builds the macro-scale datapath workload: a rows x cols array
+// of identical macro cells with bus nets between both horizontal and
+// vertical neighbors, one control net spanning each column, and one
+// cross-chip net per row connecting diagonally distant macros. A 32x32 grid
+// yields 1024 obstacles and over 2000 nets — the scale where per-expansion
+// cost dominates and the index-driven hot path pays off.
+func MacroGrid(rows, cols int, cellW, cellH, gap geom.Coord, seed int64) (*layout.Layout, error) {
+	if rows < 2 || cols < 2 {
+		return nil, fmt.Errorf("gen: macro grid needs at least 2x2")
+	}
+	r := rand.New(rand.NewSource(seed))
+	l := &layout.Layout{
+		Name: fmt.Sprintf("macro-%dx%d", rows, cols),
+		Bounds: geom.R(0, 0,
+			geom.Coord(cols)*(cellW+gap)+gap,
+			geom.Coord(rows)*(cellH+gap)+gap),
+	}
+	at := func(rr, cc int) geom.Rect {
+		x := gap + geom.Coord(cc)*(cellW+gap)
+		y := gap + geom.Coord(rr)*(cellH+gap)
+		return geom.R(x, y, x+cellW, y+cellH)
+	}
+	for rr := 0; rr < rows; rr++ {
+		for cc := 0; cc < cols; cc++ {
+			l.Cells = append(l.Cells, layout.Cell{
+				Name: fmt.Sprintf("m%d_%d", rr, cc), Box: at(rr, cc),
+			})
+		}
+	}
+	id := func(rr, cc int) layout.CellID { return layout.CellID(rr*cols + cc) }
+	twoPin := func(name string, a, b layout.Pin) {
+		l.Nets = append(l.Nets, layout.Net{
+			Name: name,
+			Terminals: []layout.Terminal{
+				{Name: "a", Pins: []layout.Pin{a}},
+				{Name: "b", Pins: []layout.Pin{b}},
+			},
+		})
+	}
+	// Horizontal neighbor buses.
+	for rr := 0; rr < rows; rr++ {
+		for cc := 0; cc+1 < cols; cc++ {
+			a, b := at(rr, cc), at(rr, cc+1)
+			y := a.MinY + geom.Coord(r.Int63n(int64(cellH+1)))
+			twoPin(fmt.Sprintf("hb%d_%d", rr, cc),
+				layout.Pin{Name: "p", Pos: geom.Pt(a.MaxX, y), Cell: id(rr, cc)},
+				layout.Pin{Name: "p", Pos: geom.Pt(b.MinX, y), Cell: id(rr, cc+1)})
+		}
+	}
+	// Vertical neighbor buses.
+	for cc := 0; cc < cols; cc++ {
+		for rr := 0; rr+1 < rows; rr++ {
+			a, b := at(rr, cc), at(rr+1, cc)
+			x := a.MinX + geom.Coord(r.Int63n(int64(cellW+1)))
+			twoPin(fmt.Sprintf("vb%d_%d", rr, cc),
+				layout.Pin{Name: "p", Pos: geom.Pt(x, a.MaxY), Cell: id(rr, cc)},
+				layout.Pin{Name: "p", Pos: geom.Pt(x, b.MinY), Cell: id(rr+1, cc)})
+		}
+	}
+	// Column-spanning control nets (multi-terminal).
+	for cc := 0; cc < cols; cc++ {
+		net := layout.Net{Name: fmt.Sprintf("ctl%d", cc)}
+		for rr := 0; rr < rows; rr++ {
+			box := at(rr, cc)
+			x := box.MinX + geom.Coord(r.Int63n(int64(cellW+1)))
+			net.Terminals = append(net.Terminals, layout.Terminal{
+				Name: fmt.Sprintf("r%d", rr),
+				Pins: []layout.Pin{{Name: "p", Pos: geom.Pt(x, box.MaxY), Cell: id(rr, cc)}},
+			})
+		}
+		l.Nets = append(l.Nets, net)
+	}
+	// Cross-chip nets: one per row, to a diagonally distant macro. These
+	// long hauls share corridors and are what congests the grid.
+	for rr := 0; rr < rows; rr++ {
+		r2 := (rr + rows/2) % rows
+		c2 := cols - 1 - (rr % cols)
+		a, b := at(rr, 0), at(r2, c2)
+		twoPin(fmt.Sprintf("x%d", rr),
+			layout.Pin{Name: "p", Pos: geom.Pt(a.MinX, a.MinY+cellH/2), Cell: id(rr, 0)},
+			layout.Pin{Name: "p", Pos: geom.Pt(b.MaxX, b.MinY+cellH/2), Cell: id(r2, c2)})
+	}
+	if err := l.Validate(); err != nil {
+		return nil, fmt.Errorf("gen: macro grid invalid: %w", err)
+	}
+	return l, nil
+}
+
 // PadRing builds a core of random cells surrounded by boundary pads, each
 // pad wired to a random core cell — the chip-assembly workload from the
 // paper's introduction.

@@ -128,6 +128,61 @@ func TestGridOfMacros(t *testing.T) {
 	}
 }
 
+func TestMacroGrid(t *testing.T) {
+	l, err := MacroGrid(4, 5, 40, 30, 12, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Cells) != 20 {
+		t.Fatalf("cells = %d, want 20", len(l.Cells))
+	}
+	// h-buses rows*(cols-1) + v-buses cols*(rows-1) + ctl cols + cross rows.
+	want := 4*4 + 5*3 + 5 + 4
+	if len(l.Nets) != want {
+		t.Fatalf("nets = %d, want %d", len(l.Nets), want)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic for a fixed seed.
+	again, err := MacroGrid(4, 5, 40, 30, 12, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range l.Nets {
+		for ti := range l.Nets[i].Terminals {
+			for pi := range l.Nets[i].Terminals[ti].Pins {
+				if l.Nets[i].Terminals[ti].Pins[pi].Pos != again.Nets[i].Terminals[ti].Pins[pi].Pos {
+					t.Fatalf("net %d pin drifted between identical seeds", i)
+				}
+			}
+		}
+	}
+	if _, err := MacroGrid(1, 5, 40, 30, 12, 9); err == nil {
+		t.Fatal("1-row macro grid must fail")
+	}
+}
+
+// TestMacroGridRoutes routes a small instance fully — every generated net
+// must be connectable.
+func TestMacroGridRoutes(t *testing.T) {
+	l, err := MacroGrid(4, 4, 40, 30, 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := plane.FromLayout(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := router.New(ix, router.Options{}).RouteLayout(l, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failed) != 0 {
+		t.Fatalf("failed nets: %v", res.Failed)
+	}
+}
+
 func TestPadRing(t *testing.T) {
 	l, err := PadRing(16, 6, 11)
 	if err != nil {

@@ -447,13 +447,22 @@ func Bends(pts []Point) int {
 
 // SimplifyPath removes zero-length legs and merges collinear consecutive
 // legs of a rectilinear polyline, returning a minimal vertex list with the
-// same geometry.
+// same geometry. The input is unchanged.
 func SimplifyPath(pts []Point) []Point {
 	if len(pts) == 0 {
 		return nil
 	}
-	out := make([]Point, 0, len(pts))
-	out = append(out, pts[0])
+	return CompactPath(append(make([]Point, 0, len(pts)), pts...))
+}
+
+// CompactPath is SimplifyPath rewriting pts in place and returning the
+// shortened prefix — the allocation-free variant for callers that own the
+// slice (the router's hot path).
+func CompactPath(pts []Point) []Point {
+	if len(pts) == 0 {
+		return nil
+	}
+	out := pts[:1]
 	for i := 1; i < len(pts); i++ {
 		p := pts[i]
 		if p == out[len(out)-1] {

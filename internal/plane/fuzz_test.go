@@ -1,0 +1,16 @@
+package plane
+
+import "testing"
+
+// Fuzz targets drive the naive-vs-indexed comparisons of
+// index_prop_test.go from arbitrary seeds. `go test` runs the seed corpus;
+// `go test -fuzz=FuzzIndexedQueries ./internal/plane` explores further.
+
+func FuzzIndexedQueries(f *testing.F) {
+	for _, seed := range []int64{0, 1, 42, 1984, -7, 1 << 40} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		checkIndexAgainstNaive(t, seed)
+	})
+}

@@ -1,0 +1,249 @@
+package plane
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+// This file pins the indexed queries — PointBlocked (interval-tree stab),
+// BoundaryCells (corner-table lookup), and the corner-range enumeration —
+// to brute-force reference scans over randomized obstacle fields, the same
+// technique TestRayHitMatchesNaive uses for the ray tracer. The fuzz
+// targets in fuzz_test.go drive the identical comparisons from arbitrary
+// seeds.
+
+// randomField builds a random obstacle index; overlapping rectangles are
+// deliberately allowed (the sequential baseline overlays routed-net rects
+// that may overlap anything).
+func randomField(r *rand.Rand, n int) (*Index, []geom.Rect) {
+	bounds := geom.R(0, 0, 200, 200)
+	var rects []geom.Rect
+	for i := 0; i < n; i++ {
+		x, y := int64(r.Intn(180)), int64(r.Intn(180))
+		w, h := int64(r.Intn(25)+1), int64(r.Intn(25)+1)
+		rects = append(rects, geom.R(x, y, geom.Min(x+w, 200), geom.Min(y+h, 200)))
+	}
+	ix, err := New(bounds, rects)
+	if err != nil {
+		panic(err)
+	}
+	return ix, rects
+}
+
+// interestingPoint samples query points biased onto obstacle edges and
+// corners, where the boundary/containment predicates actually discriminate.
+func interestingPoint(r *rand.Rand, rects []geom.Rect) geom.Point {
+	if len(rects) > 0 && r.Intn(4) != 0 {
+		c := rects[r.Intn(len(rects))]
+		xs := [3]geom.Coord{c.MinX, c.MaxX, c.MinX + int64(r.Intn(int(c.Width()+1)))}
+		ys := [3]geom.Coord{c.MinY, c.MaxY, c.MinY + int64(r.Intn(int(c.Height()+1)))}
+		return geom.Pt(xs[r.Intn(3)], ys[r.Intn(3)])
+	}
+	return geom.Pt(int64(r.Intn(201)), int64(r.Intn(201)))
+}
+
+// naivePointBlocked is the pre-index linear scan.
+func naivePointBlocked(rects []geom.Rect, p geom.Point) (int, bool) {
+	for i, c := range rects {
+		if c.ContainsStrict(p) {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// naiveBoundaryCells is the pre-index linear scan.
+func naiveBoundaryCells(rects []geom.Rect, p geom.Point, dst []int) []int {
+	for i, c := range rects {
+		if c.Contains(p) && !c.ContainsStrict(p) {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// naiveCornerRange enumerates corner entries in the open interval by scan.
+func naiveCornerRange(rects []geom.Rect, vertical bool, lo, hi geom.Coord) []Corner {
+	var out []Corner
+	for i, c := range rects {
+		if vertical {
+			for _, x := range [2]geom.Coord{c.MinX, c.MaxX} {
+				if lo < x && x < hi {
+					out = append(out, Corner{At: x, Cell: int32(i)})
+				}
+			}
+		} else {
+			for _, y := range [2]geom.Coord{c.MinY, c.MaxY} {
+				if lo < y && y < hi {
+					out = append(out, Corner{At: y, Cell: int32(i)})
+				}
+			}
+		}
+	}
+	// The indexed enumeration is (coordinate, cell)-ordered.
+	for a := 1; a < len(out); a++ {
+		for b := a; b > 0 && cornerLess(out[b], out[b-1]); b-- {
+			out[b], out[b-1] = out[b-1], out[b]
+		}
+	}
+	return out
+}
+
+// checkIndexAgainstNaive runs every indexed query against its reference on
+// one random field; shared by the quick.Check test and the fuzz targets.
+func checkIndexAgainstNaive(t *testing.T, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	ix, rects := randomField(r, r.Intn(16)+1)
+	for trial := 0; trial < 60; trial++ {
+		p := interestingPoint(r, rects)
+
+		gotCell, gotB := ix.PointBlocked(p)
+		wantCell, wantB := naivePointBlocked(rects, p)
+		if gotCell != wantCell || gotB != wantB {
+			t.Fatalf("seed=%d PointBlocked(%v) = (%d,%v), naive (%d,%v)",
+				seed, p, gotCell, gotB, wantCell, wantB)
+		}
+
+		got := ix.BoundaryCells(p, nil)
+		want := naiveBoundaryCells(rects, p, nil)
+		if len(got) != len(want) {
+			t.Fatalf("seed=%d BoundaryCells(%v) = %v, naive %v", seed, p, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed=%d BoundaryCells(%v) = %v, naive %v", seed, p, got, want)
+			}
+		}
+
+		lo := geom.Coord(r.Intn(220) - 10)
+		hi := lo + geom.Coord(r.Intn(120))
+		for _, vertical := range [2]bool{true, false} {
+			var gotC []Corner
+			if vertical {
+				gotC = ix.AppendCornersX(nil, lo, hi)
+			} else {
+				gotC = ix.AppendCornersY(nil, lo, hi)
+			}
+			wantC := naiveCornerRange(rects, vertical, lo, hi)
+			if len(gotC) != len(wantC) {
+				t.Fatalf("seed=%d corners(vert=%v, %d..%d) = %v, naive %v",
+					seed, vertical, lo, hi, gotC, wantC)
+			}
+			for i := range gotC {
+				if gotC[i] != wantC[i] {
+					t.Fatalf("seed=%d corners(vert=%v, %d..%d) = %v, naive %v",
+						seed, vertical, lo, hi, gotC, wantC)
+				}
+			}
+		}
+	}
+}
+
+func TestIndexedQueriesMatchNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		checkIndexAgainstNaive(t, seed)
+		return !t.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOverlayMatchesFreshIndex pins the merge-based Overlay to an index
+// built from scratch over the same cells: every query must agree, because
+// Overlay is what the sequential baseline leans on once per routed net.
+func TestOverlayMatchesFreshIndex(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		base, baseRects := randomField(r, r.Intn(10)+1)
+		var extra []geom.Rect
+		for i := 0; i < r.Intn(8)+1; i++ {
+			x, y := int64(r.Intn(180)), int64(r.Intn(180))
+			w, h := int64(r.Intn(30)+1), int64(r.Intn(30)+1)
+			extra = append(extra, geom.R(x, y, geom.Min(x+w, 200), geom.Min(y+h, 200)))
+		}
+		merged, err := base.Overlay(extra)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all := append(append([]geom.Rect(nil), baseRects...), extra...)
+		fresh, err := New(base.Bounds(), all)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 60; trial++ {
+			p := interestingPoint(r, all)
+			mc, mb := merged.PointBlocked(p)
+			fc, fb := fresh.PointBlocked(p)
+			if mc != fc || mb != fb {
+				t.Fatalf("seed=%d Overlay PointBlocked(%v) = (%d,%v), fresh (%d,%v)",
+					seed, p, mc, mb, fc, fb)
+			}
+			mbc := merged.BoundaryCells(p, nil)
+			fbc := fresh.BoundaryCells(p, nil)
+			if len(mbc) != len(fbc) {
+				t.Fatalf("seed=%d Overlay BoundaryCells(%v) = %v, fresh %v", seed, p, mbc, fbc)
+			}
+			for i := range mbc {
+				if mbc[i] != fbc[i] {
+					t.Fatalf("seed=%d Overlay BoundaryCells(%v) = %v, fresh %v", seed, p, mbc, fbc)
+				}
+			}
+			d := geom.Dirs[r.Intn(4)]
+			var limit geom.Coord
+			if d == geom.East || d == geom.North {
+				limit = 200
+			}
+			mh := merged.RayHit(p, d, limit)
+			fh := fresh.RayHit(p, d, limit)
+			if mh.Blocked != fh.Blocked || mh.Stop != fh.Stop {
+				t.Fatalf("seed=%d Overlay RayHit(%v,%v) = %+v, fresh %+v", seed, p, d, mh, fh)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPointBlocked(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	var rects []geom.Rect
+	for i := 0; i < 400; i++ {
+		x, y := int64(r.Intn(1900)), int64(r.Intn(1900))
+		rects = append(rects, geom.R(x, y, x+int64(r.Intn(60)+10), y+int64(r.Intn(60)+10)))
+	}
+	ix, err := New(geom.R(0, 0, 2000, 2000), rects)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.PointBlocked(geom.Pt(int64(i%2000), int64((i*13)%2000)))
+	}
+}
+
+func BenchmarkBoundaryCells(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	var rects []geom.Rect
+	for i := 0; i < 400; i++ {
+		x, y := int64(r.Intn(1900)), int64(r.Intn(1900))
+		rects = append(rects, geom.R(x, y, x+int64(r.Intn(60)+10), y+int64(r.Intn(60)+10)))
+	}
+	ix, err := New(geom.R(0, 0, 2000, 2000), rects)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf [8]int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := rects[i%len(rects)]
+		ix.BoundaryCells(geom.Pt(c.MinX, c.MinY+1), buf[:0])
+	}
+}

@@ -1,0 +1,117 @@
+package plane
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// intervalTree is a centered interval tree over the cells' x-spans: the
+// stabbing structure behind PointBlocked. Each node holds the intervals
+// straddling its center coordinate, sorted both by MinX ascending (byLo) and
+// MaxX descending (byHi), so a stab query visits only intervals that
+// actually contain the query coordinate plus O(log n) nodes.
+//
+// The tree is immutable after build, like the rest of the Index.
+type intervalTree struct {
+	nodes []itNode
+	root  int32
+}
+
+// itNode is one tree node. left/right are node indices, -1 for none.
+type itNode struct {
+	center      geom.Coord
+	left, right int32
+	byLo        []int32 // straddling cells, ascending MinX (ties: cell asc)
+	byHi        []int32 // same cells, descending MaxX (ties: cell asc)
+}
+
+// buildIntervalTree files every cell by its x-span. cornersX is the index's
+// corner table — every cell's MinX and MaxX already sorted — so each node's
+// center is an exact endpoint median found by indexing, and the recursion
+// passes order-preserving partitions down instead of re-sorting: the whole
+// build is O(n log n) without a comparator sort outside the per-node
+// straddler orderings. Centers being endpoint medians keeps the tree
+// balanced; an interval owning the center endpoint straddles it, which
+// guarantees every recursion step strictly shrinks the remaining set.
+func buildIntervalTree(cells []geom.Rect, cornersX []Corner) intervalTree {
+	t := intervalTree{root: -1}
+	if len(cells) == 0 {
+		return t
+	}
+	ids := make([]int32, len(cells))
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	t.nodes = make([]itNode, 0, 64)
+	// class[c] is cell c's side relative to the current node's center; it is
+	// only read for cells classified at the same recursion step.
+	class := make([]int8, len(cells))
+	t.root = t.build(cells, ids, cornersX, class)
+	return t
+}
+
+// Sides of a node's center, filed in class during one build step.
+const (
+	sideLo   int8 = iota // interval entirely left of center
+	sideHere             // interval straddles center: stored at this node
+	sideHi               // interval entirely right of center
+)
+
+// build files ids (whose endpoints are exactly epts, in sorted order) and
+// returns the new node's index, or -1 for an empty set.
+func (t *intervalTree) build(cells []geom.Rect, ids []int32, epts []Corner, class []int8) int32 {
+	if len(ids) == 0 {
+		return -1
+	}
+	center := epts[len(epts)/2].At
+
+	var lo, hi, here []int32
+	for _, ci := range ids {
+		switch {
+		case cells[ci].MaxX < center:
+			class[ci] = sideLo
+			lo = append(lo, ci)
+		case cells[ci].MinX > center:
+			class[ci] = sideHi
+			hi = append(hi, ci)
+		default:
+			class[ci] = sideHere
+			here = append(here, ci)
+		}
+	}
+	// Split the sorted endpoint list to match — a linear pass that keeps the
+	// children's endpoint lists sorted, so their medians stay exact.
+	var eptsLo, eptsHi []Corner
+	for _, e := range epts {
+		switch class[e.Cell] {
+		case sideLo:
+			eptsLo = append(eptsLo, e)
+		case sideHi:
+			eptsHi = append(eptsHi, e)
+		}
+	}
+
+	byLo := append([]int32(nil), here...)
+	sort.Slice(byLo, func(a, b int) bool {
+		if cells[byLo[a]].MinX != cells[byLo[b]].MinX {
+			return cells[byLo[a]].MinX < cells[byLo[b]].MinX
+		}
+		return byLo[a] < byLo[b]
+	})
+	byHi := append([]int32(nil), here...)
+	sort.Slice(byHi, func(a, b int) bool {
+		if cells[byHi[a]].MaxX != cells[byHi[b]].MaxX {
+			return cells[byHi[a]].MaxX > cells[byHi[b]].MaxX
+		}
+		return byHi[a] < byHi[b]
+	})
+
+	ni := int32(len(t.nodes))
+	t.nodes = append(t.nodes, itNode{center: center, left: -1, right: -1, byLo: byLo, byHi: byHi})
+	left := t.build(cells, lo, eptsLo, class)
+	right := t.build(cells, hi, eptsHi, class)
+	t.nodes[ni].left = left
+	t.nodes[ni].right = right
+	return ni
+}

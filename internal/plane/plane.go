@@ -31,6 +31,23 @@ type Index struct {
 	byMaxX []int32 // ascending MaxX: candidates for West rays (scanned backward)
 	byMinY []int32 // ascending MinY: candidates for North rays
 	byMaxY []int32 // ascending MaxY: candidates for South rays (scanned backward)
+	// Corner-coordinate tables: every cell contributes both edge coordinates
+	// per axis, sorted by (coordinate, cell). Corridor-restricted corner
+	// enumeration (ray track vertices) and boundary lookup binary-search
+	// these instead of scanning all cells.
+	cornersX []Corner // MinX and MaxX of every cell, sorted by (At, Cell)
+	cornersY []Corner // MinY and MaxY of every cell, sorted by (At, Cell)
+	// xtree stabs the cells' x-spans: PointBlocked asks "which cells contain
+	// this x" in O(log n + answers) instead of a scan.
+	xtree intervalTree
+}
+
+// Corner is one obstacle edge coordinate filed in a corner table: the
+// coordinate of a vertical edge (an x) or a horizontal edge (a y), and the
+// cell it belongs to.
+type Corner struct {
+	At   geom.Coord
+	Cell int32
 }
 
 // New builds an index over the given obstacle rectangles within bounds.
@@ -62,29 +79,117 @@ func FromLayout(l *layout.Layout) (*Index, error) {
 }
 
 // Overlay returns a new index containing the receiver's obstacles plus the
-// extra rectangles. The receiver is unchanged.
+// extra rectangles. The receiver is unchanged. The receiver's sorted
+// orderings and corner tables are merged with freshly sorted orderings of
+// the extras — O((n+m) + m log m) instead of re-sorting all n+m cells from
+// scratch, which matters because the sequential baseline overlays once per
+// routed net. The x-interval tree is rebuilt, but from the merged corner
+// table, so that costs O((n+m) log(n+m)) partition-and-file work with no
+// comparator re-sorts.
 func (ix *Index) Overlay(extra []geom.Rect) (*Index, error) {
-	all := make([]geom.Rect, 0, len(ix.cells)+len(extra))
-	all = append(all, ix.cells...)
-	all = append(all, extra...)
-	return New(ix.bounds, all)
+	n := len(ix.cells)
+	out := &Index{bounds: ix.bounds, cells: make([]geom.Rect, 0, n+len(extra))}
+	out.cells = append(out.cells, ix.cells...)
+	out.cells = append(out.cells, extra...)
+	for i := n; i < len(out.cells); i++ {
+		if c := out.cells[i]; !c.IsValid() || c.Width() <= 0 || c.Height() <= 0 {
+			return nil, fmt.Errorf("plane: obstacle %d %v must have positive area", i-n, c)
+		}
+	}
+	// Sort the extras alone, then merge with the receiver's sorted state.
+	sub := &Index{cells: out.cells} // ids n..n+m-1 index the combined slice
+	sub.sortOrders(n, len(out.cells))
+	out.byMinX = mergeOrder(out.cells, ix.byMinX, sub.byMinX, keyMinX)
+	out.byMaxX = mergeOrder(out.cells, ix.byMaxX, sub.byMaxX, keyMaxX)
+	out.byMinY = mergeOrder(out.cells, ix.byMinY, sub.byMinY, keyMinY)
+	out.byMaxY = mergeOrder(out.cells, ix.byMaxY, sub.byMaxY, keyMaxY)
+	out.cornersX = mergeCorners(ix.cornersX, sub.cornersX)
+	out.cornersY = mergeCorners(ix.cornersY, sub.cornersY)
+	out.xtree = buildIntervalTree(out.cells, out.cornersX)
+	return out, nil
 }
 
-// reindex rebuilds the four sorted orderings.
+// reindex rebuilds every derived structure from scratch.
 func (ix *Index) reindex() {
-	n := len(ix.cells)
+	ix.sortOrders(0, len(ix.cells))
+	ix.xtree = buildIntervalTree(ix.cells, ix.cornersX)
+}
+
+// sortOrders builds the four sorted orderings and the two corner tables for
+// the cell id range [lo, hi). New indexes the whole slice; Overlay indexes
+// just the appended extras and merges.
+func (ix *Index) sortOrders(lo, hi int) {
+	n := hi - lo
 	ix.byMinX = make([]int32, n)
 	ix.byMaxX = make([]int32, n)
 	ix.byMinY = make([]int32, n)
 	ix.byMaxY = make([]int32, n)
 	for i := 0; i < n; i++ {
-		ix.byMinX[i], ix.byMaxX[i], ix.byMinY[i], ix.byMaxY[i] = int32(i), int32(i), int32(i), int32(i)
+		id := int32(lo + i)
+		ix.byMinX[i], ix.byMaxX[i], ix.byMinY[i], ix.byMaxY[i] = id, id, id, id
 	}
 	c := ix.cells
 	sort.Slice(ix.byMinX, func(a, b int) bool { return c[ix.byMinX[a]].MinX < c[ix.byMinX[b]].MinX })
 	sort.Slice(ix.byMaxX, func(a, b int) bool { return c[ix.byMaxX[a]].MaxX < c[ix.byMaxX[b]].MaxX })
 	sort.Slice(ix.byMinY, func(a, b int) bool { return c[ix.byMinY[a]].MinY < c[ix.byMinY[b]].MinY })
 	sort.Slice(ix.byMaxY, func(a, b int) bool { return c[ix.byMaxY[a]].MaxY < c[ix.byMaxY[b]].MaxY })
+	ix.cornersX = make([]Corner, 0, 2*n)
+	ix.cornersY = make([]Corner, 0, 2*n)
+	for i := lo; i < hi; i++ {
+		ix.cornersX = append(ix.cornersX,
+			Corner{At: c[i].MinX, Cell: int32(i)}, Corner{At: c[i].MaxX, Cell: int32(i)})
+		ix.cornersY = append(ix.cornersY,
+			Corner{At: c[i].MinY, Cell: int32(i)}, Corner{At: c[i].MaxY, Cell: int32(i)})
+	}
+	sort.Slice(ix.cornersX, func(a, b int) bool { return cornerLess(ix.cornersX[a], ix.cornersX[b]) })
+	sort.Slice(ix.cornersY, func(a, b int) bool { return cornerLess(ix.cornersY[a], ix.cornersY[b]) })
+}
+
+func cornerLess(a, b Corner) bool {
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	return a.Cell < b.Cell
+}
+
+// Sort keys for the per-direction orderings.
+func keyMinX(c geom.Rect) geom.Coord { return c.MinX }
+func keyMaxX(c geom.Rect) geom.Coord { return c.MaxX }
+func keyMinY(c geom.Rect) geom.Coord { return c.MinY }
+func keyMaxY(c geom.Rect) geom.Coord { return c.MaxY }
+
+// mergeOrder merges two cell-id orderings, each already sorted by key.
+func mergeOrder(cells []geom.Rect, a, b []int32, key func(geom.Rect) geom.Coord) []int32 {
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if key(cells[a[i]]) <= key(cells[b[j]]) {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// mergeCorners merges two corner tables sorted by (At, Cell).
+func mergeCorners(a, b []Corner) []Corner {
+	out := make([]Corner, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if cornerLess(a[i], b[j]) {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
 }
 
 // Bounds returns the routing area.
@@ -100,14 +205,57 @@ func (ix *Index) Cell(i int) geom.Rect { return ix.cells[i] }
 func (ix *Index) Cells() []geom.Rect { return append([]geom.Rect(nil), ix.cells...) }
 
 // PointBlocked reports whether p lies strictly inside an obstacle, and which
-// one. Boundary points are legal routing locations.
+// one (the lowest-indexed one when several overlap). Boundary points are
+// legal routing locations. The query stabs the x-interval tree and filters
+// the survivors by y-span: O(log n + cells overlapping p.X).
 func (ix *Index) PointBlocked(p geom.Point) (cell int, blocked bool) {
-	for i, c := range ix.cells {
-		if c.ContainsStrict(p) {
-			return i, true
+	t := &ix.xtree
+	best := int32(-1)
+	ni := t.root
+	for ni >= 0 {
+		nd := &t.nodes[ni]
+		switch {
+		case p.X < nd.center:
+			// Every interval filed here reaches at least to center > p.X, so
+			// only the MinX side needs checking.
+			for _, ci := range nd.byLo {
+				c := &ix.cells[ci]
+				if c.MinX >= p.X {
+					break
+				}
+				if c.MinY < p.Y && p.Y < c.MaxY && (best < 0 || ci < best) {
+					best = ci
+				}
+			}
+			ni = nd.left
+		case p.X > nd.center:
+			for _, ci := range nd.byHi {
+				c := &ix.cells[ci]
+				if c.MaxX <= p.X {
+					break
+				}
+				if c.MinY < p.Y && p.Y < c.MaxY && (best < 0 || ci < best) {
+					best = ci
+				}
+			}
+			ni = nd.right
+		default: // p.X == center: both strictness checks are live
+			for _, ci := range nd.byLo {
+				c := &ix.cells[ci]
+				if c.MinX >= p.X {
+					break
+				}
+				if c.MaxX > p.X && c.MinY < p.Y && p.Y < c.MaxY && (best < 0 || ci < best) {
+					best = ci
+				}
+			}
+			ni = -1 // subtrees hold intervals strictly left/right of center
 		}
 	}
-	return -1, false
+	if best < 0 {
+		return -1, false
+	}
+	return int(best), true
 }
 
 // InBounds reports whether p lies within the routing area (boundary
@@ -115,13 +263,69 @@ func (ix *Index) PointBlocked(p geom.Point) (cell int, blocked bool) {
 func (ix *Index) InBounds(p geom.Point) bool { return ix.bounds.Contains(p) }
 
 // BoundaryCells appends to dst the indices of every obstacle whose boundary
-// contains p, and returns the extended slice. The search's boundary-hugging
-// rule expands along the edges of exactly these cells.
+// contains p, in ascending cell order, and returns the extended slice. The
+// search's boundary-hugging rule expands along the edges of exactly these
+// cells. A boundary point lies on a vertical edge (its x is a corner-table
+// x) or a horizontal edge (its y is a corner-table y), so both binary
+// searches together enumerate every candidate without a scan.
 func (ix *Index) BoundaryCells(p geom.Point, dst []int) []int {
-	for i, c := range ix.cells {
-		if c.Contains(p) && !c.ContainsStrict(p) {
-			dst = append(dst, i)
+	start := len(dst)
+	i := sort.Search(len(ix.cornersX), func(k int) bool { return ix.cornersX[k].At >= p.X })
+	for ; i < len(ix.cornersX) && ix.cornersX[i].At == p.X; i++ {
+		ci := ix.cornersX[i].Cell
+		if c := &ix.cells[ci]; c.MinY <= p.Y && p.Y <= c.MaxY {
+			dst = append(dst, int(ci))
 		}
+	}
+	j := sort.Search(len(ix.cornersY), func(k int) bool { return ix.cornersY[k].At >= p.Y })
+	for ; j < len(ix.cornersY) && ix.cornersY[j].At == p.Y; j++ {
+		ci := ix.cornersY[j].Cell
+		c := &ix.cells[ci]
+		if c.MinX > p.X || p.X > c.MaxX {
+			continue
+		}
+		dup := false // a corner cell already matched through its vertical edge
+		for _, e := range dst[start:] {
+			if e == int(ci) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, int(ci))
+		}
+	}
+	// Insertion sort: the result is tiny and must match the ascending cell
+	// order the naive scan produced (successor emission order is part of the
+	// router's determinism contract).
+	s := dst[start:]
+	for a := 1; a < len(s); a++ {
+		for b := a; b > 0 && s[b] < s[b-1]; b-- {
+			s[b], s[b-1] = s[b-1], s[b]
+		}
+	}
+	return dst
+}
+
+// AppendCornersX appends to dst every corner table entry whose x lies
+// strictly inside (lo, hi) — the candidate turn coordinates for a horizontal
+// ray corridor — and returns the extended slice. Entries arrive in (x, cell)
+// order.
+func (ix *Index) AppendCornersX(dst []Corner, lo, hi geom.Coord) []Corner {
+	return appendCornerRange(dst, ix.cornersX, lo, hi)
+}
+
+// AppendCornersY is AppendCornersX for horizontal edge coordinates (vertical
+// ray corridors).
+func (ix *Index) AppendCornersY(dst []Corner, lo, hi geom.Coord) []Corner {
+	return appendCornerRange(dst, ix.cornersY, lo, hi)
+}
+
+// appendCornerRange binary-searches the table for the open interval (lo, hi).
+func appendCornerRange(dst []Corner, table []Corner, lo, hi geom.Coord) []Corner {
+	i := sort.Search(len(table), func(k int) bool { return table[k].At > lo })
+	for ; i < len(table) && table[i].At < hi; i++ {
+		dst = append(dst, table[i])
 	}
 	return dst
 }

@@ -1,0 +1,132 @@
+package ray
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/plane"
+)
+
+// naiveCornerProjections is the pre-index generator: a full scan over every
+// cell, kept here as the reference the corridor-restricted enumeration must
+// reproduce exactly — including emission order, which feeds the search's
+// deterministic tie-breaking.
+func naiveCornerProjections(ix *plane.Index, at geom.Point, d geom.Dir, stop geom.Coord, emit func(geom.Point, geom.Dir)) {
+	horiz := d.Horizontal()
+	var lo, hi geom.Coord
+	if horiz {
+		lo, hi = geom.Min(at.X, stop), geom.Max(at.X, stop)
+	} else {
+		lo, hi = geom.Min(at.Y, stop), geom.Max(at.Y, stop)
+	}
+	for ci, n := 0, ix.NumCells(); ci < n; ci++ {
+		c := ix.Cell(ci)
+		if horiz {
+			var cy geom.Coord
+			switch {
+			case at.Y <= c.MinY:
+				cy = c.MinY
+			case at.Y >= c.MaxY:
+				cy = c.MaxY
+			default:
+				continue
+			}
+			for _, cx := range [2]geom.Coord{c.MinX, c.MaxX} {
+				if cx <= lo || cx >= hi {
+					continue
+				}
+				q := geom.Pt(cx, at.Y)
+				if _, blocked := ix.SegBlocked(geom.S(geom.Pt(cx, cy), q)); !blocked {
+					emit(q, d)
+				}
+			}
+		} else {
+			var cx geom.Coord
+			switch {
+			case at.X <= c.MinX:
+				cx = c.MinX
+			case at.X >= c.MaxX:
+				cx = c.MaxX
+			default:
+				continue
+			}
+			for _, cy := range [2]geom.Coord{c.MinY, c.MaxY} {
+				if cy <= lo || cy >= hi {
+					continue
+				}
+				q := geom.Pt(at.X, cy)
+				if _, blocked := ix.SegBlocked(geom.S(geom.Pt(cx, cy), q)); !blocked {
+					emit(q, d)
+				}
+			}
+		}
+	}
+}
+
+// checkCornerProjections compares the indexed enumeration against the naive
+// scan for random rays over a random field; shared with the fuzz target.
+func checkCornerProjections(t *testing.T, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	bounds := geom.R(0, 0, 200, 200)
+	var rects []geom.Rect
+	for i := 0; i < r.Intn(14)+1; i++ {
+		x, y := int64(r.Intn(180)), int64(r.Intn(180))
+		w, h := int64(r.Intn(25)+1), int64(r.Intn(25)+1)
+		rects = append(rects, geom.R(x, y, geom.Min(x+w, 200), geom.Min(y+h, 200)))
+	}
+	ix, err := plane.New(bounds, rects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &Gen{Ix: ix}
+	type hit struct {
+		p geom.Point
+		d geom.Dir
+	}
+	for trial := 0; trial < 50; trial++ {
+		at := geom.Pt(int64(r.Intn(201)), int64(r.Intn(201)))
+		d := geom.Dirs[r.Intn(4)]
+		// A plausible ray stop: where the tracer would stop this ray.
+		var limit geom.Coord
+		if d == geom.East || d == geom.North {
+			limit = 200
+		}
+		stop := ix.RayHit(at, d, limit).Stop
+		var got, want []hit
+		g.cornerProjections(at, d, stop, func(p geom.Point, d geom.Dir) {
+			got = append(got, hit{p, d})
+		})
+		naiveCornerProjections(ix, at, d, stop, func(p geom.Point, d geom.Dir) {
+			want = append(want, hit{p, d})
+		})
+		if len(got) != len(want) {
+			t.Fatalf("seed=%d at=%v d=%v stop=%d: got %v, naive %v", seed, at, d, stop, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed=%d at=%v d=%v stop=%d: got %v, naive %v", seed, at, d, stop, got, want)
+			}
+		}
+	}
+}
+
+func TestCornerProjectionsMatchNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		checkCornerProjections(t, seed)
+		return !t.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func FuzzCornerProjections(f *testing.F) {
+	for _, seed := range []int64{0, 3, 64, 4711, -11} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		checkCornerProjections(t, seed)
+	})
+}

@@ -21,6 +21,8 @@
 package ray
 
 import (
+	"slices"
+
 	"repro/internal/geom"
 	"repro/internal/plane"
 )
@@ -131,8 +133,37 @@ func (g *Gen) cornerProjections(at geom.Point, d geom.Dir, stop geom.Coord, emit
 	} else {
 		lo, hi = geom.Min(at.Y, stop), geom.Max(at.Y, stop)
 	}
-	for ci, n := 0, g.Ix.NumCells(); ci < n; ci++ {
-		c := g.Ix.Cell(ci)
+	// Candidate corners come from the index's corner tables restricted to the
+	// ray's open corridor (lo, hi) — O(log n + candidates) instead of a scan
+	// over every cell. The stack buffer keeps the common case allocation-free.
+	var buf [32]plane.Corner
+	var cands []plane.Corner
+	if horiz {
+		cands = g.Ix.AppendCornersX(buf[:0], lo, hi)
+	} else {
+		cands = g.Ix.AppendCornersY(buf[:0], lo, hi)
+	}
+	// The table is (coordinate, cell)-ordered; successor emission order is
+	// part of the router's determinism contract and follows the cell order a
+	// full scan would produce, so re-sort the candidates by (cell,
+	// coordinate). A channel-spanning ray on a macro grid can collect
+	// thousands of candidates in near-transposed order, so this must be a
+	// real sort, not an insertion pass. The keys are distinct (a cell's two
+	// corners differ), so the unstable sort is still deterministic.
+	slices.SortFunc(cands, func(a, b plane.Corner) int {
+		if a.Cell != b.Cell {
+			return int(a.Cell - b.Cell)
+		}
+		switch {
+		case a.At < b.At:
+			return -1
+		case a.At > b.At:
+			return 1
+		}
+		return 0
+	})
+	for _, cd := range cands {
+		c := g.Ix.Cell(int(cd.Cell))
 		if horiz {
 			// Nearest corner row of this cell relative to the ray line. A
 			// ray line strictly inside the cell's span cannot cross its
@@ -146,14 +177,9 @@ func (g *Gen) cornerProjections(at geom.Point, d geom.Dir, stop geom.Coord, emit
 			default:
 				continue
 			}
-			for _, cx := range [2]geom.Coord{c.MinX, c.MaxX} {
-				if cx <= lo || cx >= hi {
-					continue
-				}
-				q := geom.Pt(cx, at.Y)
-				if _, blocked := g.Ix.SegBlocked(geom.S(geom.Pt(cx, cy), q)); !blocked {
-					emit(q, d)
-				}
+			q := geom.Pt(cd.At, at.Y)
+			if _, blocked := g.Ix.SegBlocked(geom.S(geom.Pt(cd.At, cy), q)); !blocked {
+				emit(q, d)
 			}
 		} else {
 			var cx geom.Coord
@@ -165,14 +191,9 @@ func (g *Gen) cornerProjections(at geom.Point, d geom.Dir, stop geom.Coord, emit
 			default:
 				continue
 			}
-			for _, cy := range [2]geom.Coord{c.MinY, c.MaxY} {
-				if cy <= lo || cy >= hi {
-					continue
-				}
-				q := geom.Pt(at.X, cy)
-				if _, blocked := g.Ix.SegBlocked(geom.S(geom.Pt(cx, cy), q)); !blocked {
-					emit(q, d)
-				}
+			q := geom.Pt(at.X, cd.At)
+			if _, blocked := g.Ix.SegBlocked(geom.S(geom.Pt(cx, cd.At), q)); !blocked {
+				emit(q, d)
 			}
 		}
 	}

@@ -1,0 +1,68 @@
+package router
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/layout"
+	"repro/internal/plane"
+)
+
+// TestPooledSearchDeterminism pins the search-core rewrite: repeated
+// whole-layout routes must be byte-identical even though every connection
+// query runs on a recycled search context (node arena, OPEN heap, state
+// table) that previous — and unrelated — queries have dirtied. Any state
+// leaking across context reuse shows up here as a diverging route.
+func TestPooledSearchDeterminism(t *testing.T) {
+	mk := func(seed int64) (*Router, *layout.Layout) {
+		l, err := gen.RandomLayout(gen.Config{
+			Seed: seed, Cells: 10, Nets: 20, MaxTerminals: 4, Separation: 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix, err := plane.FromLayout(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return New(ix, Options{}), l
+	}
+	rA, lA := mk(11)
+	rB, lB := mk(99)
+
+	reference, err := rA.RouteLayout(lA, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		// Dirty the pooled contexts with a different workload, then route
+		// the reference layout again — sequentially and in parallel.
+		if _, err := rB.RouteLayout(lB, 0); err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 4} {
+			got, err := rA.RouteLayout(lA, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Nets) != len(reference.Nets) {
+				t.Fatalf("round %d workers %d: %d nets, want %d",
+					round, workers, len(got.Nets), len(reference.Nets))
+			}
+			for i := range got.Nets {
+				g, w := &got.Nets[i], &reference.Nets[i]
+				if g.Found != w.Found || g.Length != w.Length || len(g.Segments) != len(w.Segments) {
+					t.Fatalf("round %d workers %d net %q: route diverged (%v/%d/%d vs %v/%d/%d)",
+						round, workers, g.Net, g.Found, g.Length, len(g.Segments),
+						w.Found, w.Length, len(w.Segments))
+				}
+				for s := range g.Segments {
+					if g.Segments[s] != w.Segments[s] {
+						t.Fatalf("round %d workers %d net %q segment %d: %v != %v",
+							round, workers, g.Net, s, g.Segments[s], w.Segments[s])
+					}
+				}
+			}
+		}
+	}
+}

@@ -115,13 +115,22 @@ func (t *targetSet) crossing(from, to geom.Point) (geom.Point, bool) {
 }
 
 // connProblem adapts a connection query to the generic search framework.
+// The cur/emit/wrap fields are per-expansion scratch: the search core passes
+// one stable emit closure for the whole run, so the ray-to-search adapter
+// closure is built once and rebound through the fields instead of being
+// reallocated on every expansion.
 type connProblem struct {
-	gen        *ray.Gen
+	gen        ray.Gen
 	cost       CostModel
 	sources    []geom.Point
 	targets    targetSet
 	onExpand   func(geom.Point, search.Cost)
 	onGenerate func(geom.Point, search.Cost)
+
+	directional bool
+	cur         State
+	emit        func(State, search.Cost)
+	wrap        func(geom.Point, geom.Dir)
 }
 
 var (
@@ -182,35 +191,46 @@ func (p *connProblem) Heuristic(s State) search.Cost {
 // Successors implements search.Problem.
 func (p *connProblem) Successors(s State, emit func(State, search.Cost)) {
 	if s.virtual {
-		seen := make(map[geom.Point]bool, len(p.sources))
-		for _, src := range p.sources {
-			if seen[src] {
-				continue
+		// Dedup the (tiny) source set without a per-query map.
+		for i, src := range p.sources {
+			dup := false
+			for _, prev := range p.sources[:i] {
+				if prev == src {
+					dup = true
+					break
+				}
 			}
-			seen[src] = true
-			emit(State{At: src}, 0)
+			if !dup {
+				emit(State{At: src}, 0)
+			}
 		}
 		return
 	}
-	directional := p.cost.Directional()
-	guide, _ := p.targets.nearest(s.At)
-	p.gen.Successors(s.At, guide, func(next geom.Point, via geom.Dir) {
-		p.emitMove(s, next, via, directional, emit)
-		// If the travel segment crosses the target set before reaching
-		// `next`, emit the crossing too so mid-segment attachments are
-		// reachable goals.
-		if q, ok := p.targets.crossing(s.At, next); ok && q != next && q != s.At {
-			p.emitMove(s, q, via, directional, emit)
+	p.cur = s
+	p.emit = emit
+	if p.wrap == nil {
+		p.directional = p.cost.Directional()
+		p.wrap = func(next geom.Point, via geom.Dir) {
+			s := p.cur
+			p.emitMove(s, next, via)
+			// If the travel segment crosses the target set before reaching
+			// `next`, emit the crossing too so mid-segment attachments are
+			// reachable goals.
+			if q, ok := p.targets.crossing(s.At, next); ok && q != next && q != s.At {
+				p.emitMove(s, q, via)
+			}
 		}
-	})
+	}
+	guide, _ := p.targets.nearest(s.At)
+	p.gen.Successors(s.At, guide, p.wrap)
 }
 
 // emitMove prices and emits a single successor.
-func (p *connProblem) emitMove(s State, next geom.Point, via geom.Dir, directional bool, emit func(State, search.Cost)) {
+func (p *connProblem) emitMove(s State, next geom.Point, via geom.Dir) {
 	cost := p.cost.SegCost(s.At, next, s.In)
 	st := State{At: next}
-	if directional {
+	if p.directional {
 		st.In = via
 	}
-	emit(st, cost)
+	p.emit(st, cost)
 }

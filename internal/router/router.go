@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/geom"
 	"repro/internal/layout"
@@ -100,28 +101,58 @@ var (
 	ErrOutOfBounds = errors.New("router: endpoint outside routing bounds")
 )
 
+// searchCtxPool recycles search contexts (node arena, OPEN heap, state
+// table) across connection queries. Every worker goroutine of
+// Router.RouteNets — and every pass of congest.Negotiate, which routes
+// through the same pool — reuses a warmed context instead of reallocating
+// the search bookkeeping per query.
+var searchCtxPool = sync.Pool{
+	New: func() any { return search.NewContext[State]() },
+}
+
 // RoutePoints finds a minimal-cost route between two points.
 func (r *Router) RoutePoints(from, to geom.Point) (Route, error) {
 	return r.RouteConnection([]geom.Point{from}, []geom.Point{to}, nil)
+}
+
+// validEndpoint checks one query endpoint.
+func (r *Router) validEndpoint(p geom.Point) error {
+	if !r.ix.InBounds(p) {
+		return fmt.Errorf("%w: %v", ErrOutOfBounds, p)
+	}
+	if cell, blocked := r.ix.PointBlocked(p); blocked {
+		return fmt.Errorf("%w: %v in cell %d", ErrBlockedEndpoint, p, cell)
+	}
+	return nil
 }
 
 // RouteConnection finds a minimal-cost route from any source point to the
 // nearest (by cost) part of the target set. Target segments admit
 // mid-segment attachment, which is what the Steiner construction needs.
 func (r *Router) RouteConnection(sources, targetPts []geom.Point, targetSegs []geom.Seg) (Route, error) {
+	return r.routeConnection(sources, targetPts, targetSegs, 0)
+}
+
+// routeConnection is RouteConnection with an optional cost ceiling (0 = no
+// ceiling): a search that provably cannot produce a route costing at most
+// maxCost aborts early and reports not-found. RouteNet's greedy candidate
+// loop supplies the best attachment cost found so far as the ceiling.
+func (r *Router) routeConnection(sources, targetPts []geom.Point, targetSegs []geom.Seg, maxCost search.Cost) (Route, error) {
 	if len(sources) == 0 || (len(targetPts) == 0 && len(targetSegs) == 0) {
 		return Route{}, fmt.Errorf("router: empty source or target set")
 	}
-	for _, p := range append(append([]geom.Point{}, sources...), targetPts...) {
-		if !r.ix.InBounds(p) {
-			return Route{}, fmt.Errorf("%w: %v", ErrOutOfBounds, p)
+	for _, p := range sources {
+		if err := r.validEndpoint(p); err != nil {
+			return Route{}, err
 		}
-		if cell, blocked := r.ix.PointBlocked(p); blocked {
-			return Route{}, fmt.Errorf("%w: %v in cell %d", ErrBlockedEndpoint, p, cell)
+	}
+	for _, p := range targetPts {
+		if err := r.validEndpoint(p); err != nil {
+			return Route{}, err
 		}
 	}
 	prob := &connProblem{
-		gen:        &ray.Gen{Ix: r.ix, Mode: r.opts.Mode},
+		gen:        ray.Gen{Ix: r.ix, Mode: r.opts.Mode},
 		cost:       r.cost,
 		sources:    sources,
 		targets:    targetSet{points: targetPts, segs: targetSegs},
@@ -132,12 +163,15 @@ func (r *Router) RouteConnection(sources, targetPts []geom.Point, targetSegs []g
 	if maxExp == 0 {
 		maxExp = defaultMaxExpansions
 	}
-	res, err := search.Find[State](prob, search.Options{
+	sctx := searchCtxPool.Get().(*search.Context[State])
+	res, err := search.FindWith[State](sctx, prob, search.Options{
 		Strategy:      r.opts.Strategy,
 		MaxExpansions: maxExp,
 		WeightNum:     r.opts.WeightNum,
 		WeightDen:     r.opts.WeightDen,
+		MaxCost:       maxCost,
 	})
+	searchCtxPool.Put(sctx)
 	if err != nil && !errors.Is(err, search.ErrBudget) {
 		return Route{}, err
 	}
@@ -153,7 +187,7 @@ func (r *Router) RouteConnection(sources, targetPts []geom.Point, targetSegs []g
 		pts = append(pts, s.At)
 	}
 	out.Found = true
-	out.Points = geom.SimplifyPath(pts)
+	out.Points = geom.CompactPath(pts) // pts is ours: compact in place
 	out.Length = geom.PathLength(out.Points)
 	out.Cost = res.Cost
 	return out, nil
@@ -193,8 +227,15 @@ func (r *Router) RouteNet(net *layout.Net) (NetRoute, error) {
 	// The connected set starts as the pins of the terminal whose first pin
 	// is most central (deterministic and cheap); remaining terminals join
 	// greedily by cheapest actual route, the adapted-Dijkstra order.
+	// Terminal pin slices are extracted once up front: the greedy rounds
+	// below revisit every unconnected terminal per round, and re-extracting
+	// was the router's single largest allocation source.
 	startIdx := r.pickStartTerminal(net)
-	connectedPts := pinPoints(&net.Terminals[startIdx])
+	pins := make([][]geom.Point, len(net.Terminals))
+	for i := range net.Terminals {
+		pins[i] = pinPoints(&net.Terminals[i])
+	}
+	connectedPts := append([]geom.Point(nil), pins[startIdx]...)
 	var connectedSegs []geom.Seg
 	remaining := make([]int, 0, len(net.Terminals)-1)
 	for i := range net.Terminals {
@@ -211,9 +252,18 @@ func (r *Router) RouteNet(net *layout.Net) (NetRoute, error) {
 		best := cand{idx: -1}
 		// Route every unconnected terminal to the current set and take the
 		// cheapest — the spanning-tree greedy step with true route costs.
+		// Once a candidate exists, later searches carry its cost as a
+		// ceiling: a terminal that cannot attach strictly cheaper aborts as
+		// soon as the search's lower bound crosses the ceiling, so the
+		// greedy pick is unchanged while distant candidates cost almost
+		// nothing. The ceiling is exact only for admissible searches, so
+		// the weighted-A* ablation keeps full searches.
 		for i, ti := range remaining {
-			srcs := pinPoints(&net.Terminals[ti])
-			route, err := r.RouteConnection(srcs, connectedPts, connectedSegs)
+			var bound search.Cost
+			if best.idx >= 0 && r.opts.WeightNum == 0 && best.route.Cost > 1 {
+				bound = best.route.Cost - 1
+			}
+			route, err := r.routeConnection(pins[ti], connectedPts, connectedSegs, bound)
 			if err != nil {
 				return out, fmt.Errorf("net %q terminal %q: %w", net.Name, net.Terminals[ti].Name, err)
 			}
@@ -244,7 +294,7 @@ func (r *Router) RouteNet(net *layout.Net) (NetRoute, error) {
 			out.Segments = append(out.Segments, seg)
 			connectedSegs = append(connectedSegs, seg)
 		}
-		connectedPts = append(connectedPts, pinPoints(&net.Terminals[ti])...)
+		connectedPts = append(connectedPts, pins[ti]...)
 	}
 	out.Found = true
 	return out, nil

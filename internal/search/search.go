@@ -22,7 +22,6 @@
 package search
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 )
@@ -83,6 +82,14 @@ type Options struct {
 	// Both zero means weight 1 (admissible A*). WeightNum > WeightDen gives
 	// weighted (inadmissible) A*, used by the ablation experiments.
 	WeightNum, WeightDen Cost
+	// MaxCost, when positive, abandons an ordered search as soon as the
+	// cheapest open node's f exceeds it; any goal costing at most MaxCost
+	// is still found. With an admissible heuristic the abort is exact: it
+	// fires only when every remaining path costs more than MaxCost. The
+	// router's Steiner construction uses it to prune candidate searches
+	// that cannot beat the best attachment found so far. Ignored by the
+	// blind strategies.
+	MaxCost Cost
 }
 
 // Tracer observes a search for visualization and debugging (the Figure 1
@@ -141,63 +148,152 @@ var ErrBudget = errors.New("search: expansion budget exhausted")
 // edge cost, which would break the termination argument.
 var ErrNegativeEdge = errors.New("search: negative edge cost")
 
-// node is the bookkeeping record for a state on OPEN or CLOSED.
+// node is the bookkeeping record for a state on OPEN or CLOSED. Nodes live
+// in a Context's slab arena and refer to each other by index, so a whole
+// search allocates O(1) slabs instead of one heap object per node.
 type node[S comparable] struct {
 	state  S
-	parent *node[S]
 	g      Cost
 	h      Cost
-	f      Cost // g + weighted h (or ordering key for the blind strategies)
-	depth  int
-	seq    int // insertion sequence, for deterministic tie-breaking
-	index  int // heap index; -1 when not on OPEN
+	f      Cost  // g + weighted h (or ordering key for the blind strategies)
+	parent int32 // arena index of the parent node; -1 for the start
+	depth  int32
+	seq    int32 // insertion sequence, for deterministic tie-breaking
+	pos    int32 // heap position; -1 when not on OPEN
 	closed bool
 }
 
-// openHeap orders nodes by (f, h, seq). Breaking f ties toward smaller h
-// prefers nodes closer to the goal, the standard A* refinement; seq makes
-// the whole order deterministic.
-type openHeap[S comparable] []*node[S]
+// Context holds the reusable bookkeeping of a search run: the node arena,
+// the OPEN heap/deque, and the state→node table. A zero-value Context is
+// ready to use; reusing one across runs (FindWith) keeps the steady state
+// allocation-free, which is what the router's per-worker pools rely on. A
+// Context is not safe for concurrent use.
+type Context[S comparable] struct {
+	nodes []node[S]
+	open  []int32
+	all   map[S]int32
+}
 
-func (h openHeap[S]) Len() int { return len(h) }
-func (h openHeap[S]) Less(i, j int) bool {
-	a, b := h[i], h[j]
-	if a.f != b.f {
-		return a.f < b.f
+// NewContext returns an empty reusable search context.
+func NewContext[S comparable]() *Context[S] {
+	return &Context[S]{all: make(map[S]int32)}
+}
+
+// reset readies the context for a fresh run, keeping its capacity.
+func (c *Context[S]) reset() {
+	c.nodes = c.nodes[:0]
+	c.open = c.open[:0]
+	if c.all == nil {
+		c.all = make(map[S]int32)
+	} else {
+		clear(c.all)
 	}
-	if a.h != b.h {
-		return a.h < b.h
+}
+
+// alloc appends a fresh node for state st and returns its arena index.
+func (c *Context[S]) alloc(st S) int32 {
+	c.nodes = append(c.nodes, node[S]{state: st, parent: -1, pos: -1})
+	return int32(len(c.nodes) - 1)
+}
+
+// heapLess orders OPEN by (f, h, seq). Breaking f ties toward smaller h
+// prefers nodes closer to the goal, the standard A* refinement; seq makes
+// the whole order total, so the pop sequence is deterministic regardless of
+// the heap's internal layout.
+func (c *Context[S]) heapLess(a, b int32) bool {
+	na, nb := &c.nodes[a], &c.nodes[b]
+	if na.f != nb.f {
+		return na.f < nb.f
 	}
-	return a.seq < b.seq
+	if na.h != nb.h {
+		return na.h < nb.h
+	}
+	return na.seq < nb.seq
 }
-func (h openHeap[S]) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+func (c *Context[S]) heapSwap(i, j int) {
+	c.open[i], c.open[j] = c.open[j], c.open[i]
+	c.nodes[c.open[i]].pos = int32(i)
+	c.nodes[c.open[j]].pos = int32(j)
 }
-func (h *openHeap[S]) Push(x any) {
-	n := x.(*node[S])
-	n.index = len(*h)
-	*h = append(*h, n)
+
+func (c *Context[S]) heapUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !c.heapLess(c.open[i], c.open[parent]) {
+			break
+		}
+		c.heapSwap(i, parent)
+		i = parent
+	}
 }
-func (h *openHeap[S]) Pop() any {
-	old := *h
-	n := old[len(old)-1]
-	old[len(old)-1] = nil
-	n.index = -1
-	*h = old[:len(old)-1]
-	return n
+
+func (c *Context[S]) heapDown(i int) {
+	n := len(c.open)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		small := l
+		if r := l + 1; r < n && c.heapLess(c.open[r], c.open[l]) {
+			small = r
+		}
+		if !c.heapLess(c.open[small], c.open[i]) {
+			break
+		}
+		c.heapSwap(i, small)
+		i = small
+	}
+}
+
+// heapPush files ni on OPEN.
+func (c *Context[S]) heapPush(ni int32) {
+	c.nodes[ni].pos = int32(len(c.open))
+	c.open = append(c.open, ni)
+	c.heapUp(len(c.open) - 1)
+}
+
+// heapPop removes and returns the minimum of OPEN.
+func (c *Context[S]) heapPop() int32 {
+	top := c.open[0]
+	last := len(c.open) - 1
+	c.open[0] = c.open[last]
+	c.nodes[c.open[0]].pos = 0
+	c.open = c.open[:last]
+	if last > 0 {
+		c.heapDown(0)
+	}
+	c.nodes[top].pos = -1
+	return top
+}
+
+// heapFix restores heap order after the node at heap position i got a
+// smaller key (the decrease-key of a cheaper path to an open node).
+func (c *Context[S]) heapFix(i int) {
+	ni := c.open[i]
+	c.heapUp(i)
+	if c.nodes[ni].pos == int32(i) {
+		c.heapDown(i)
+	}
 }
 
 // Find runs the search described by opts over the problem and returns the
 // result. The only errors are ErrBudget and ErrNegativeEdge; an exhausted
 // search space without a goal is not an error (Found is false).
 func Find[S comparable](p Problem[S], opts Options) (Result[S], error) {
+	return FindWith(NewContext[S](), p, opts)
+}
+
+// FindWith is Find running on a caller-supplied context, so repeated
+// searches (the router's per-net connection queries) reuse the node arena,
+// OPEN list and hash table instead of reallocating them per query.
+func FindWith[S comparable](ctx *Context[S], p Problem[S], opts Options) (Result[S], error) {
 	switch opts.Strategy {
 	case AStar, BestFirst:
-		return findOrdered(p, opts)
+		return findOrdered(ctx, p, opts)
 	case BreadthFirst, DepthFirst:
-		return findBlind(p, opts)
+		return findBlind(ctx, p, opts)
 	default:
 		return Result[S]{}, fmt.Errorf("search: unknown strategy %v", opts.Strategy)
 	}
@@ -215,15 +311,17 @@ func weigh(h Cost, opts Options) Cost {
 	return h * opts.WeightNum / den
 }
 
-// findOrdered implements BestFirst (f = g) and AStar (f = g + h) with a
-// priority queue and CLOSED reopening.
-func findOrdered[S comparable](p Problem[S], opts Options) (Result[S], error) {
+// findOrdered implements BestFirst (f = g) and AStar (f = g + h) with an
+// inlined index-based binary heap over the context's node arena and CLOSED
+// reopening. The inner loop performs no per-node allocation: nodes live in
+// the arena slab, the heap holds indices, and the only growth is amortized
+// slab/table expansion (absorbed entirely on context reuse).
+func findOrdered[S comparable](ctx *Context[S], p Problem[S], opts Options) (Result[S], error) {
 	useH := opts.Strategy == AStar
+	ctx.reset()
 	var (
 		res    Result[S]
-		open   openHeap[S]
-		all    = make(map[S]*node[S])
-		seq    int
+		seq    int32
 		stats  Stats
 		tracer = tracerOf(p)
 	)
@@ -232,87 +330,118 @@ func findOrdered[S comparable](p Problem[S], opts Options) (Result[S], error) {
 	if useH {
 		h0 = p.Heuristic(start)
 	}
-	sn := &node[S]{state: start, g: 0, h: h0, f: weigh(h0, opts), index: -1}
-	all[start] = sn
-	heap.Push(&open, sn)
+	si := ctx.alloc(start)
+	ctx.nodes[si].h = h0
+	ctx.nodes[si].f = weigh(h0, opts)
+	ctx.all[start] = si
+	ctx.heapPush(si)
 
-	for open.Len() > 0 {
-		if open.Len() > stats.MaxOpen {
-			stats.MaxOpen = open.Len()
+	// The emit closure is hoisted out of the expansion loop — built once per
+	// search, not once per expansion — and reads the expanded node through
+	// the loop variables below. (A closure literal inside the loop would be
+	// reallocated, with its captures boxed, on every expansion.)
+	var (
+		ni      int32
+		ng      Cost
+		ndepth  int32
+		emitErr error
+	)
+	emit := func(next S, edge Cost) {
+		if emitErr != nil {
+			return
 		}
-		n := heap.Pop(&open).(*node[S])
-		// Terminate when a goal node is *removed* from OPEN: every other
-		// open node has f at least as large, so no cheaper path remains.
-		if p.IsGoal(n.state) {
-			res.Found = true
-			res.Cost = n.g
-			res.Path = reconstruct(n)
+		if edge < 0 {
+			emitErr = ErrNegativeEdge
+			return
+		}
+		stats.Generated++
+		g := ng + edge
+		if pi, ok := ctx.all[next]; ok {
+			prev := &ctx.nodes[pi]
+			if g >= prev.g {
+				return // existing path at least as good
+			}
+			// Cheaper path: redirect the parent pointer; reopen if the
+			// node had been closed.
+			prev.parent = ni
+			prev.g = g
+			prev.f = g
+			if useH {
+				prev.f = g + weigh(prev.h, opts)
+			}
+			prev.depth = ndepth + 1
+			if prev.closed {
+				prev.closed = false
+				stats.Reopened++
+				seq++
+				prev.seq = seq
+				ctx.heapPush(pi)
+			} else {
+				ctx.heapFix(int(prev.pos))
+			}
+			return
+		}
+		hv := Cost(0)
+		if useH {
+			hv = p.Heuristic(next)
+		}
+		seq++
+		nn := ctx.alloc(next)
+		nd := &ctx.nodes[nn]
+		nd.parent = ni
+		nd.g = g
+		nd.h = hv
+		nd.f = g
+		if useH {
+			nd.f = g + weigh(hv, opts)
+		}
+		nd.depth = ndepth + 1
+		nd.seq = seq
+		ctx.all[next] = nn
+		ctx.heapPush(nn)
+		if tracer != nil {
+			tracer.Generated(next, g)
+		}
+	}
+
+	for len(ctx.open) > 0 {
+		if len(ctx.open) > stats.MaxOpen {
+			stats.MaxOpen = len(ctx.open)
+		}
+		ni = ctx.heapPop()
+		// Bound pruning: the heap minimum's f is a lower bound on every
+		// remaining path, so once it exceeds MaxCost no acceptable goal is
+		// reachable and the search reports "not found" early.
+		if opts.MaxCost > 0 && ctx.nodes[ni].f > opts.MaxCost {
 			res.Stats = stats
 			return res, nil
 		}
-		n.closed = true
+		// The arena may grow inside the successor closure, so hold the
+		// expanded node's fields by value, not by pointer.
+		nstate := ctx.nodes[ni].state
+		ng = ctx.nodes[ni].g
+		ndepth = ctx.nodes[ni].depth
+		// Terminate when a goal node is *removed* from OPEN: every other
+		// open node has f at least as large, so no cheaper path remains.
+		if p.IsGoal(nstate) {
+			res.Found = true
+			res.Cost = ng
+			res.Path = ctx.reconstruct(ni)
+			res.Stats = stats
+			return res, nil
+		}
+		ctx.nodes[ni].closed = true
 		stats.Expanded++
 		if tracer != nil {
-			tracer.Expanded(n.state, n.g)
+			tracer.Expanded(nstate, ng)
 		}
 		if opts.MaxExpansions > 0 && stats.Expanded > opts.MaxExpansions {
 			res.Stats = stats
 			return res, ErrBudget
 		}
 
-		var emitErr error
-		p.Successors(n.state, func(next S, edge Cost) {
-			if emitErr != nil {
-				return
-			}
-			if edge < 0 {
-				emitErr = ErrNegativeEdge
-				return
-			}
-			stats.Generated++
-			g := n.g + edge
-			if prev, ok := all[next]; ok {
-				if g >= prev.g {
-					return // existing path at least as good
-				}
-				// Cheaper path: redirect the parent pointer; reopen if the
-				// node had been closed.
-				prev.parent = n
-				prev.g = g
-				prev.f = g
-				if useH {
-					prev.f = g + weigh(prev.h, opts)
-				}
-				prev.depth = n.depth + 1
-				if prev.closed {
-					prev.closed = false
-					stats.Reopened++
-					seq++
-					prev.seq = seq
-					heap.Push(&open, prev)
-				} else {
-					heap.Fix(&open, prev.index)
-				}
-				return
-			}
-			hv := Cost(0)
-			if useH {
-				hv = p.Heuristic(next)
-			}
-			seq++
-			nn := &node[S]{
-				state: next, parent: n, g: g, h: hv,
-				f: g, depth: n.depth + 1, seq: seq, index: -1,
-			}
-			if useH {
-				nn.f = g + weigh(hv, opts)
-			}
-			all[next] = nn
-			heap.Push(&open, nn)
-			if tracer != nil {
-				tracer.Generated(next, g)
-			}
-		})
+		emitErr = nil
+		p.Successors(nstate, emit)
 		if emitErr != nil {
 			res.Stats = stats
 			return res, emitErr
@@ -322,80 +451,103 @@ func findOrdered[S comparable](p Problem[S], opts Options) (Result[S], error) {
 	return res, nil
 }
 
-// findBlind implements BreadthFirst and DepthFirst with a deque. These are
-// the paper's "blind" strategies: the OPEN order ignores cost, although g is
-// still tracked so the returned path has an accurate length.
-func findBlind[S comparable](p Problem[S], opts Options) (Result[S], error) {
+// findBlind implements BreadthFirst and DepthFirst over the context arena.
+// These are the paper's "blind" strategies: the OPEN order ignores cost,
+// although g is still tracked so the returned path has an accurate length.
+// BFS pops through a head index with periodic compaction instead of slicing
+// the front off (open = open[1:] pins the backing array and re-copies the
+// whole live queue on every growth — O(n²) churn on wavefront workloads).
+func findBlind[S comparable](ctx *Context[S], p Problem[S], opts Options) (Result[S], error) {
 	lifo := opts.Strategy == DepthFirst
+	ctx.reset()
 	var (
 		res    Result[S]
-		open   []*node[S]
-		all    = make(map[S]*node[S])
+		head   int
 		stats  Stats
 		tracer = tracerOf(p)
 	)
 	start := p.Start()
-	sn := &node[S]{state: start}
-	all[start] = sn
-	open = append(open, sn)
+	si := ctx.alloc(start)
+	ctx.all[start] = si
+	ctx.open = append(ctx.open, si)
+
+	// Hoisted emit closure, as in findOrdered.
+	var (
+		ni      int32
+		ng      Cost
+		ndepth  int32
+		emitErr error
+	)
+	emit := func(next S, edge Cost) {
+		if emitErr != nil {
+			return
+		}
+		if edge < 0 {
+			emitErr = ErrNegativeEdge
+			return
+		}
+		stats.Generated++
+		if _, ok := ctx.all[next]; ok {
+			return // already active or closed; blind search never reopens
+		}
+		nn := ctx.alloc(next)
+		nd := &ctx.nodes[nn]
+		nd.parent = ni
+		nd.g = ng + edge
+		nd.depth = ndepth + 1
+		ctx.all[next] = nn
+		ctx.open = append(ctx.open, nn)
+		if tracer != nil {
+			tracer.Generated(next, nd.g)
+		}
+	}
 
 	// In blind search the goal test happens at generation time for BFS
 	// (first path found is fewest-edges) and at expansion time for DFS.
-	for len(open) > 0 {
-		if len(open) > stats.MaxOpen {
-			stats.MaxOpen = len(open)
+	for head < len(ctx.open) {
+		if live := len(ctx.open) - head; live > stats.MaxOpen {
+			stats.MaxOpen = live
 		}
-		var n *node[S]
 		if lifo {
-			n = open[len(open)-1]
-			open = open[:len(open)-1]
+			ni = ctx.open[len(ctx.open)-1]
+			ctx.open = ctx.open[:len(ctx.open)-1]
 		} else {
-			n = open[0]
-			open = open[1:]
+			ni = ctx.open[head]
+			head++
+			if head >= 64 && head*2 >= len(ctx.open) {
+				n := copy(ctx.open, ctx.open[head:])
+				ctx.open = ctx.open[:n]
+				head = 0
+			}
 		}
-		if n.closed {
+		if ctx.nodes[ni].closed {
 			continue // superseded entry
 		}
-		if p.IsGoal(n.state) {
+		nstate := ctx.nodes[ni].state
+		ng = ctx.nodes[ni].g
+		ndepth = ctx.nodes[ni].depth
+		if p.IsGoal(nstate) {
 			res.Found = true
-			res.Cost = n.g
-			res.Path = reconstruct(n)
+			res.Cost = ng
+			res.Path = ctx.reconstruct(ni)
 			res.Stats = stats
 			return res, nil
 		}
-		n.closed = true
+		ctx.nodes[ni].closed = true
 		stats.Expanded++
 		if tracer != nil {
-			tracer.Expanded(n.state, n.g)
+			tracer.Expanded(nstate, ng)
 		}
 		if opts.MaxExpansions > 0 && stats.Expanded > opts.MaxExpansions {
 			res.Stats = stats
 			return res, ErrBudget
 		}
-		if lifo && opts.DepthLimit > 0 && n.depth >= opts.DepthLimit {
+		if lifo && opts.DepthLimit > 0 && int(ndepth) >= opts.DepthLimit {
 			continue
 		}
 
-		var emitErr error
-		p.Successors(n.state, func(next S, edge Cost) {
-			if emitErr != nil {
-				return
-			}
-			if edge < 0 {
-				emitErr = ErrNegativeEdge
-				return
-			}
-			stats.Generated++
-			if _, ok := all[next]; ok {
-				return // already active or closed; blind search never reopens
-			}
-			nn := &node[S]{state: next, parent: n, g: n.g + edge, depth: n.depth + 1}
-			all[next] = nn
-			open = append(open, nn)
-			if tracer != nil {
-				tracer.Generated(next, nn.g)
-			}
-		})
+		emitErr = nil
+		p.Successors(nstate, emit)
 		if emitErr != nil {
 			res.Stats = stats
 			return res, emitErr
@@ -405,15 +557,18 @@ func findBlind[S comparable](p Problem[S], opts Options) (Result[S], error) {
 	return res, nil
 }
 
-// reconstruct follows parent pointers back to the start, as the paper
-// describes, and returns the path in start→goal order.
-func reconstruct[S comparable](n *node[S]) []S {
-	var rev []S
-	for m := n; m != nil; m = m.parent {
-		rev = append(rev, m.state)
+// reconstruct follows parent indices back to the start, as the paper
+// describes, and returns the path in start→goal order. The path is a fresh
+// slice of state values, so it stays valid after the context is reused.
+func (c *Context[S]) reconstruct(ni int32) []S {
+	n := 0
+	for m := ni; m >= 0; m = c.nodes[m].parent {
+		n++
 	}
-	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-		rev[i], rev[j] = rev[j], rev[i]
+	path := make([]S, n)
+	for m := ni; m >= 0; m = c.nodes[m].parent {
+		n--
+		path[n] = c.nodes[m].state
 	}
-	return rev
+	return path
 }
