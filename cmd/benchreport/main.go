@@ -6,11 +6,18 @@
 //
 //	go test -run=NONE -bench=. -benchmem . | go run ./cmd/benchreport -n 2
 //	go run ./cmd/benchreport -in bench.txt -o BENCH_2.json
+//	go run ./cmd/benchreport -in bench.txt \
+//	    -require 'BenchmarkNegotiatedCongestion/MacroGrid16/workers1:overflow/op=0'
 //
 // Every `Benchmark...` line is parsed into its name (GOMAXPROCS suffix
 // stripped), iteration count, ns/op, B/op, allocs/op, and any custom
 // metrics (expansions/op, passes/op, ...). Non-benchmark lines are
 // ignored, so raw `go test` output can be piped straight in.
+//
+// -require (repeatable) asserts that a named benchmark's custom metric has
+// an exact value; any violated requirement fails the run with a non-zero
+// exit, which is how CI gates on "MacroGrid16 negotiation must reach zero
+// overflow" without a separate harness.
 package main
 
 import (
@@ -39,13 +46,21 @@ type Report struct {
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
+// requireList collects repeated -require flags.
+type requireList []string
+
+func (r *requireList) String() string     { return strings.Join(*r, ",") }
+func (r *requireList) Set(v string) error { *r = append(*r, v); return nil }
+
 func main() {
 	var (
-		in  = flag.String("in", "", "bench output file (default stdin)")
-		n   = flag.Int("n", -1, "write BENCH_<n>.json instead of stdout")
-		out = flag.String("o", "", "output file (overrides -n)")
-		ind = flag.Bool("indent", true, "indent the JSON")
+		in       = flag.String("in", "", "bench output file (default stdin)")
+		n        = flag.Int("n", -1, "write BENCH_<n>.json instead of stdout")
+		out      = flag.String("o", "", "output file (overrides -n)")
+		ind      = flag.Bool("indent", true, "indent the JSON")
+		requires requireList
 	)
+	flag.Var(&requires, "require", "assert 'BenchmarkName:metric=value' (repeatable); violations exit non-zero")
 	flag.Parse()
 
 	src := io.Reader(os.Stdin)
@@ -88,6 +103,52 @@ func main() {
 	if path != "" {
 		fmt.Fprintf(os.Stderr, "benchreport: wrote %d benchmarks to %s\n", len(rep.Benchmarks), path)
 	}
+	if errs := rep.Check(requires); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "benchreport: REQUIREMENT FAILED:", e)
+		}
+		os.Exit(1)
+	}
+}
+
+// Check evaluates 'BenchmarkName:metric=value' requirements against the
+// report and returns one error per violation (unparsable specs and missing
+// benchmarks/metrics count as violations).
+func (rep *Report) Check(requires []string) []error {
+	var errs []error
+	for _, spec := range requires {
+		name, rest, ok := strings.Cut(spec, ":")
+		metric, valStr, ok2 := strings.Cut(rest, "=")
+		if !ok || !ok2 {
+			errs = append(errs, fmt.Errorf("bad -require spec %q (want name:metric=value)", spec))
+			continue
+		}
+		want, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("bad -require value in %q: %v", spec, err))
+			continue
+		}
+		found := false
+		for i := range rep.Benchmarks {
+			b := &rep.Benchmarks[i]
+			if b.Name != name {
+				continue
+			}
+			found = true
+			got, ok := b.Metrics[metric]
+			if !ok {
+				errs = append(errs, fmt.Errorf("%s: no metric %q", name, metric))
+				continue
+			}
+			if got != want {
+				errs = append(errs, fmt.Errorf("%s: %s = %v, want %v", name, metric, got, want))
+			}
+		}
+		if !found {
+			errs = append(errs, fmt.Errorf("no benchmark named %q in the input", name))
+		}
+	}
+	return errs
 }
 
 // Parse extracts benchmark lines from go test output.

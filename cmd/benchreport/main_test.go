@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+BenchmarkFig1GridlessAStar 	  217246	      5335 ns/op	         3.000 expansions/op	     616 B/op	      13 allocs/op
+BenchmarkNegotiatedCongestion/MacroGrid16/workers1-8 	       1	 955875228 ns/op	         0 overflow/op	         5.000 passes/op	99618016 B/op	  106141 allocs/op
+ok  	repro	2.153s
+`
+
+func parseSample(t *testing.T) *Report {
+	t.Helper()
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestParseStripsProcsAndReadsMetrics(t *testing.T) {
+	rep := parseSample(t)
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[1]
+	if b.Name != "BenchmarkNegotiatedCongestion/MacroGrid16/workers1" {
+		t.Errorf("name = %q (GOMAXPROCS suffix should be stripped)", b.Name)
+	}
+	if b.Metrics["overflow/op"] != 0 || b.Metrics["passes/op"] != 5 {
+		t.Errorf("metrics = %v", b.Metrics)
+	}
+	if b.AllocsPerOp != 106141 {
+		t.Errorf("allocs/op = %v", b.AllocsPerOp)
+	}
+}
+
+func TestCheckRequirements(t *testing.T) {
+	rep := parseSample(t)
+	if errs := rep.Check([]string{
+		"BenchmarkNegotiatedCongestion/MacroGrid16/workers1:overflow/op=0",
+		"BenchmarkFig1GridlessAStar:expansions/op=3",
+	}); len(errs) != 0 {
+		t.Errorf("satisfied requirements reported: %v", errs)
+	}
+	for _, bad := range []string{
+		"BenchmarkNegotiatedCongestion/MacroGrid16/workers1:overflow/op=1", // wrong value
+		"BenchmarkNegotiatedCongestion/MacroGrid16/workers1:missing/op=0",  // no such metric
+		"BenchmarkNoSuch:overflow/op=0",                                    // no such benchmark
+		"malformed-spec",                                                   // unparsable
+	} {
+		if errs := rep.Check([]string{bad}); len(errs) != 1 {
+			t.Errorf("Check(%q) = %v, want exactly one violation", bad, errs)
+		}
+	}
+}

@@ -5,6 +5,7 @@
 //	genlayout -kind random -seed 1 -cells 20 -nets 40 > chip.json
 //	genlayout -kind grid -rows 4 -cols 5 > grid.json
 //	genlayout -kind macro -rows 32 -cols 32 -cellw 40 -cellh 30 -gap 12 > macro.json
+//	genlayout -kind macro -n 64 > macro64.json   # 64x64 = 4096 cells
 //	genlayout -kind padring -pads 24 -cells 8 > ring.json
 package main
 
@@ -29,6 +30,7 @@ func main() {
 		height  = flag.Int64("height", 1000, "die height (random)")
 		rows    = flag.Int("rows", 4, "grid rows")
 		cols    = flag.Int("cols", 4, "grid cols")
+		n       = flag.Int("n", 0, "square grid shorthand: sets -rows and -cols")
 		cellW   = flag.Int64("cellw", 120, "grid cell width")
 		cellH   = flag.Int64("cellh", 80, "grid cell height")
 		gap     = flag.Int64("gap", 30, "grid cell gap")
@@ -36,6 +38,9 @@ func main() {
 		outPath = flag.String("o", "", "output file (default stdout)")
 	)
 	flag.Parse()
+	if *n > 0 {
+		*rows, *cols = *n, *n
+	}
 
 	var (
 		l   *genroute.Layout

@@ -30,6 +30,8 @@ func main() {
 		weight     = flag.Int64("weight", 100, "detour accepted per congested crossing")
 		passes     = flag.Int("passes", 8, "max congestion passes (with -congestion)")
 		history    = flag.Int("history", 1, "history gain per past overflow (0 = paper's plain penalty)")
+		weightStep = flag.Int64("weightstep", 0, "present-cost escalation per pass (0 = flat weight)")
+		historyW   = flag.Int64("historyweight", 0, "history step decoupled from -weight (0 = coupled)")
 		tracks     = flag.Bool("tracks", false, "run detailed track assignment")
 		wires      = flag.Bool("wires", false, "print the routed segments")
 		draw       = flag.Bool("draw", false, "render the routed layout as ASCII art")
@@ -57,6 +59,7 @@ func main() {
 		res, err := genroute.RouteNegotiated(l, genroute.CongestionConfig{
 			Pitch: *pitch, Weight: *weight, MaxPasses: *passes,
 			Workers: *workers, HistoryGain: *history,
+			WeightStep: *weightStep, HistoryWeight: *historyW,
 		})
 		if err != nil {
 			fatal(err)

@@ -9,11 +9,14 @@
 // Extract enumerates the passages — free corridors between facing cells and
 // between cells and the routing boundary — with a wire capacity derived
 // from the gap width and the wiring pitch. BuildMap counts how many nets
-// run through each passage. Negotiate iterates the paper's reroute loop to
-// convergence, PathFinder-style: each pass reroutes the nets through
-// overflowed passages with a penalty that combines the present overflow with
-// an accumulating history of past overflow. TwoPass is the paper's original
-// two-pass flow, now a thin wrapper over the engine.
+// run through each passage; AddNet/RemoveNet splice single nets in and out
+// incrementally. Negotiate iterates the paper's reroute loop to
+// convergence, PathFinder-style: after a parallel first pass, each pass
+// sequentially rips one overflowed net at a time out of the live map and
+// reroutes it against a penalty that combines the live present overflow
+// with an accumulating history of past overflow, so successive nets
+// negotiate instead of dodging congestion in lockstep. TwoPass is the
+// paper's original two-pass flow, now a thin wrapper over the engine.
 package congest
 
 import (
@@ -208,16 +211,23 @@ func scanSections(entries []sectionEntry, atLo, atHi, spanLo, spanHi geom.Coord,
 	}
 }
 
-// Map is the congestion state of a routed layout.
+// Map is the congestion state of a routed layout. It is mutable: AddNet and
+// RemoveNet splice a single net's route in and out incrementally, which is
+// what lets the sequential rip-up loop keep live usage between nets instead
+// of rebuilding the whole map once per pass.
 type Map struct {
 	// Passages lists the corridors.
 	Passages []Passage
 	// Usage counts distinct nets crossing each passage's cross-section.
 	Usage []int
-	// netsThrough records which net indices use each passage.
+	// netsThrough records which net indices use each passage, ascending.
 	netsThrough [][]int
 	// index locates cross-sections without scanning all passages.
 	index *sectionIndex
+	// mark/stamp de-duplicate passages within one AddNet/RemoveNet call: a
+	// net crossing a section with several segments still counts once.
+	mark  []int
+	stamp int
 }
 
 // BuildMap counts passage usage for a set of routed nets (one segment list
@@ -235,24 +245,114 @@ func buildMapWithIndex(passages []Passage, index *sectionIndex, nets [][]geom.Se
 		netsThrough: make([][]int, len(passages)),
 		index:       index,
 	}
-	// lastNet de-duplicates per net: a net crossing a section with several
-	// segments still counts once.
-	lastNet := make([]int, len(passages))
-	for i := range lastNet {
-		lastNet[i] = -1
-	}
 	for ni, segs := range nets {
-		for _, s := range segs {
-			m.index.visit(s, func(pi int) {
-				if lastNet[pi] != ni {
-					lastNet[pi] = ni
-					m.Usage[pi]++
-					m.netsThrough[pi] = append(m.netsThrough[pi], ni)
-				}
-			})
-		}
+		m.AddNet(ni, segs)
 	}
 	return m
+}
+
+// ensureScratch lazily initializes the section index and the dedup marks,
+// so hand-assembled Maps support the incremental operations too.
+func (m *Map) ensureScratch() {
+	if m.index == nil {
+		m.index = newSectionIndex(m.Passages)
+	}
+	if len(m.mark) < len(m.Passages) {
+		m.mark = make([]int, len(m.Passages))
+		m.stamp = 0
+	}
+}
+
+// AddNet counts net ni's route into the map: usage rises by one on every
+// passage whose cross-section any of the segments touches (once per
+// passage, however many segments cross it), and ni is filed in the
+// passage's net list. The inverse of RemoveNet.
+func (m *Map) AddNet(ni int, segs []geom.Seg) {
+	m.ensureScratch()
+	m.stamp++
+	for _, s := range segs {
+		m.index.visit(s, func(pi int) {
+			if m.mark[pi] == m.stamp {
+				return
+			}
+			m.mark[pi] = m.stamp
+			nt := m.netsThrough[pi]
+			k := sort.SearchInts(nt, ni)
+			if k < len(nt) && nt[k] == ni {
+				return // already counted
+			}
+			nt = append(nt, 0)
+			copy(nt[k+1:], nt[k:])
+			nt[k] = ni
+			m.netsThrough[pi] = nt
+			m.Usage[pi]++
+		})
+	}
+}
+
+// RemoveNet rips net ni's route out of the map. segs must be the same
+// segment list the net was added with (the net's current route): the
+// sequential rip-up loop removes a net, reroutes it against the live
+// remaining usage, and adds the new route back.
+func (m *Map) RemoveNet(ni int, segs []geom.Seg) {
+	m.ensureScratch()
+	m.stamp++
+	for _, s := range segs {
+		m.index.visit(s, func(pi int) {
+			if m.mark[pi] == m.stamp {
+				return
+			}
+			m.mark[pi] = m.stamp
+			nt := m.netsThrough[pi]
+			k := sort.SearchInts(nt, ni)
+			if k < len(nt) && nt[k] == ni {
+				m.netsThrough[pi] = append(nt[:k], nt[k+1:]...)
+				m.Usage[pi]--
+			}
+		})
+	}
+}
+
+// Clone returns a deep copy of the mutable state (usage and net lists);
+// passages and the section index are immutable and shared. Negotiate
+// records a clone after every pass so the reported per-pass maps stay
+// frozen while the live map keeps mutating.
+func (m *Map) Clone() *Map {
+	c := &Map{
+		Passages:    m.Passages,
+		Usage:       append([]int(nil), m.Usage...),
+		netsThrough: make([][]int, len(m.netsThrough)),
+		index:       m.index,
+	}
+	for i, nt := range m.netsThrough {
+		if len(nt) > 0 {
+			c.netsThrough[i] = append([]int(nil), nt...)
+		}
+	}
+	return c
+}
+
+// nextRipNet returns the lowest-indexed net that crosses a currently
+// overflowed passage and has not been ripped this pass, or -1 when every
+// such net has had its turn (or no overflow remains). Because it reads the
+// live map, a net pushed into overflow by an earlier rip-up in the same
+// pass becomes eligible immediately — displacement chains resolve within
+// one pass instead of leaking one link per pass.
+func (m *Map) nextRipNet(ripped []bool) int {
+	best := -1
+	for pi, u := range m.Usage {
+		if u > m.Passages[pi].Capacity {
+			for _, ni := range m.netsThrough[pi] { // ascending: first unripped is the passage's min
+				if !ripped[ni] {
+					if best < 0 || ni < best {
+						best = ni
+					}
+					break
+				}
+			}
+		}
+	}
+	return best
 }
 
 // Overflowed returns the indices of passages whose usage exceeds capacity.
@@ -339,6 +439,46 @@ func (m *Map) HistoryPenalty(weight geom.Coord, gain int, history []int) router.
 	}
 }
 
+// livePenalty is the sequential rip-up cost term. Unlike HistoryPenalty,
+// which freezes per-passage prices when it is built, livePenalty reads the
+// map's usage at query time: the rip-up loop updates the map between nets,
+// so a net rerouting later in the pass immediately sees the passages
+// earlier nets just filled (or vacated) — the PathFinder mechanism that
+// breaks the lockstep oscillation of whole-pass simultaneous reroutes.
+//
+// Crossing passage pi costs *weight*present + hWeight*gain*history[pi]
+// length units. present is 1 when the passage cannot take one more net
+// without exceeding capacity (usage >= capacity): the net being priced is
+// ripped out of the map while it reroutes, so "usage" is everyone else,
+// and the question the cost answers is "would my crossing overflow it".
+// Zero hWeight falls back to the coupled classic step (*weight per unit
+// of history). The present weight is read through a pointer so Negotiate
+// can escalate it between passes (the present-cost schedule, see
+// Config.WeightStep) without rebuilding the closure or the router.
+func (m *Map) livePenalty(weight *geom.Coord, hWeight geom.Coord, gain int, history []int) router.PenaltyFn {
+	m.ensureScratch()
+	index := m.index
+	fixedHW := hWeight > 0
+	return func(from, to geom.Point) search.Cost {
+		var penalty search.Cost
+		index.visit(geom.S(from, to), func(pi int) {
+			var units geom.Coord
+			if m.Usage[pi] >= m.Passages[pi].Capacity {
+				units = *weight
+			}
+			if gain > 0 && pi < len(history) {
+				hw := hWeight
+				if !fixedHW {
+					hw = *weight
+				}
+				units += hw * geom.Coord(gain) * geom.Coord(history[pi])
+			}
+			penalty += router.Scale * search.Cost(units)
+		})
+		return penalty
+	}
+}
+
 // DefaultMaxPasses bounds Negotiate when Config.MaxPasses is zero.
 const DefaultMaxPasses = 8
 
@@ -352,13 +492,33 @@ type Config struct {
 	// MaxPasses bounds the loop (counting the initial route as pass 1);
 	// zero means DefaultMaxPasses.
 	MaxPasses int
-	// Workers as in Router.RouteLayout; reroute passes use the same worker
-	// pool as the first pass, and the outcome is worker-count independent.
+	// Workers as in Router.RouteLayout; it parallelizes the first
+	// (penalty-free) pass only. Rip-up passes are inherently sequential —
+	// each net must see its predecessors' reroutes — so the outcome is
+	// worker-count independent.
 	Workers int
 	// HistoryGain scales the accumulated overflow history in the penalty
 	// (see Map.HistoryPenalty). Zero disables history: every reroute pass
 	// then prices only present overflow, as the paper's second pass does.
 	HistoryGain int
+	// HistoryWeight, when positive, decouples the history step from the
+	// present weight: each crossing then costs Weight*present +
+	// HistoryWeight*HistoryGain*history length units instead of
+	// Weight*(present + HistoryGain*history). A small HistoryWeight turns
+	// history into a gentle symmetry-breaker — enough to unstick nets
+	// deadlocked on at-capacity corridors, without the saturation that a
+	// full-weight history term builds up on large grids (once every
+	// corridor carries old history, relative costs flatten and the loop
+	// stops making progress). Zero keeps the coupled classic behaviour.
+	HistoryWeight geom.Coord
+	// WeightStep, when positive, enables the PathFinder present-cost
+	// schedule: the price of an over-capacity crossing starts at Weight on
+	// the first reroute pass and rises by WeightStep every pass after it.
+	// Early passes then spread nets with short cheap detours; late passes
+	// force the last stubborn overflow out through longer escape chains
+	// that a flat weight would never justify. Zero keeps the price flat
+	// (and with HistoryGain 0 lets the engine detect fixed points early).
+	WeightStep geom.Coord
 }
 
 // Pass summarizes one pass of the negotiated loop.
@@ -367,8 +527,12 @@ type Pass struct {
 	Overflow int
 	// Overflowed counts passages over capacity after the pass.
 	Overflowed int
-	// Rerouted lists the nets rerouted in the pass (empty for pass 1,
-	// which routes everything penalty-free).
+	// Rerouted lists the nets ripped up and rerouted in the pass, in
+	// rip-up order (empty for pass 1, which routes everything
+	// penalty-free): every net through the pass-start overflow, plus any
+	// net the pass's own reroutes pushed into overflow (so the list can
+	// extend beyond the pass-start affected set). A listed net may have
+	// rerouted onto its previous geometry.
 	Rerouted []string
 	// TotalLength is the whole-layout wirelength after the pass.
 	TotalLength geom.Coord
@@ -418,16 +582,23 @@ func (r *NegotiateResult) record(lr *router.LayoutResult, m *Map, rerouted []str
 	})
 }
 
-// Negotiate iterates the paper's congestion loop to convergence. Pass 1
-// routes every net penalty-free and measures passage overflow; each later
-// pass reroutes only the nets through overflowed passages, pricing a
-// congested crossing by present overflow plus the accumulated history of
-// past overflow (Map.HistoryPenalty), and re-measures. The loop stops when
-// overflow reaches zero (Converged), when MaxPasses is exhausted, or when a
-// pass changes nothing and — with HistoryGain zero — no future pass could
-// differ (Stalled). Reroute passes run on the same worker pool as the first
-// pass; since nets are routed independently, any worker count yields
-// identical results.
+// Negotiate iterates the paper's congestion loop to convergence,
+// PathFinder-style. Pass 1 routes every net penalty-free (in parallel
+// across cfg.Workers) and measures passage overflow. Each later pass is a
+// sequential rip-up: the nets through overflowed passages are visited in
+// deterministic (ascending net index) order, and each in turn is ripped out
+// of the live map, rerouted against the live present-plus-history penalty
+// (livePenalty), and spliced back in — so every net immediately sees
+// the congestion state its predecessors left behind, which is what keeps
+// identically-priced nets from dodging congestion in lockstep and
+// oscillating. Every net through the pass-start overflow is ripped once
+// per pass — even one whose passage earlier rip-ups already drained, since
+// its move may be what releases capacity for a pinned neighbor — and the
+// pass then extends, worklist-style, to nets its own reroutes pushed into
+// overflow. The loop stops when overflow reaches zero (Converged), when
+// MaxPasses is exhausted, or when a pass changes nothing and — with
+// HistoryGain zero — no future pass could differ (Stalled). The rip-up
+// order is fixed, so results do not depend on the worker count.
 func Negotiate(l *layout.Layout, cfg Config) (*NegotiateResult, error) {
 	ix, err := plane.FromLayout(l)
 	if err != nil {
@@ -449,44 +620,87 @@ func Negotiate(l *layout.Layout, cfg Config) (*NegotiateResult, error) {
 	res := &NegotiateResult{History: make([]int, len(passages))}
 	index := newSectionIndex(passages)
 	cur, m := first, buildMapWithIndex(passages, index, netSegs(first))
-	res.record(cur, m, nil)
+	res.record(cur, m.Clone(), nil)
+
+	// One penalized router serves every reroute: the penalty closure reads
+	// the live map, the history slice, and the escalating present weight,
+	// all mutated in place as the loop runs. Each RouteNet call recycles
+	// the pooled search context, so the sequential loop allocates no
+	// per-net search state.
+	presWeight := cfg.Weight
+	penalized := router.New(ix, router.Options{
+		Cost: router.PenaltyCost{
+			Penalty: m.livePenalty(&presWeight, cfg.HistoryWeight, cfg.HistoryGain, res.History),
+		},
+	})
 
 	for len(res.Passes) < maxPasses {
 		over := m.Overflowed()
 		if len(over) == 0 {
 			break
 		}
+		// Present-cost schedule (see Config.WeightStep); reroute pass k
+		// prices an over-capacity crossing at Weight + (k-1)*WeightStep.
+		presWeight = cfg.Weight + cfg.WeightStep*geom.Coord(len(res.Passes)-1)
 		for _, pi := range over {
 			res.History[pi]++
 		}
-		affected := m.AffectedNets()
 		start := time.Now()
-		penalized := router.New(ix, router.Options{
-			Cost: router.PenaltyCost{
-				Penalty: m.HistoryPenalty(cfg.Weight, cfg.HistoryGain, res.History),
-			},
-		})
-		routes, err := penalized.RouteNets(l, affected, cfg.Workers)
-		if err != nil {
-			return nil, err
-		}
 		next := &router.LayoutResult{Nets: append([]router.NetRoute(nil), cur.Nets...)}
-		rerouted := make([]string, 0, len(affected))
+		var rerouted []string
 		changed := false
-		for k, ni := range affected {
-			if !sameRoute(&next.Nets[ni], &routes[k]) {
+		ripped := make([]bool, len(l.Nets))
+		rip := func(ni int) error {
+			ripped[ni] = true
+			old := next.Nets[ni]
+			m.RemoveNet(ni, old.Segments)
+			nr, err := penalized.RouteNet(&l.Nets[ni])
+			if err != nil {
+				return err
+			}
+			m.AddNet(ni, nr.Segments)
+			if !sameRoute(&old, &nr) {
 				changed = true
 			}
-			next.Nets[ni] = routes[k]
+			next.Nets[ni] = nr
 			rerouted = append(rerouted, l.Nets[ni].Name)
+			return nil
+		}
+		// Every net through the pass-start overflow gets ripped, in
+		// ascending net order — even when an earlier rip-up already drained
+		// its passage. That is what lets a net with a free alternative
+		// vacate a tight corridor for a pinned neighbor; skipping
+		// "already drained" nets leaves the same low-indexed nets doing all
+		// the moving while the one net whose move would actually release
+		// capacity is never consulted.
+		for _, ni := range m.AffectedNets() {
+			if err := rip(ni); err != nil {
+				return nil, err
+			}
+		}
+		// Then the pass continues as a worklist: reroutes above may have
+		// pushed fresh passages over capacity, so rip the lowest-indexed
+		// net through any live-overflowed passage until none is left. Each
+		// net moves at most once per pass, so the loop terminates;
+		// displacement chains resolve within one pass instead of leaking
+		// one link per pass.
+		for {
+			ni := m.nextRipNet(ripped)
+			if ni < 0 {
+				break
+			}
+			if err := rip(ni); err != nil {
+				return nil, err
+			}
 		}
 		next.Finalize(start)
-		cur, m = next, buildMapWithIndex(passages, index, netSegs(next))
-		res.record(cur, m, rerouted)
-		if !changed && cfg.HistoryGain <= 0 {
+		cur = next
+		res.record(cur, m.Clone(), rerouted)
+		if !changed && cfg.HistoryGain <= 0 && cfg.WeightStep <= 0 {
 			// Fixed point: the same penalties would reproduce the same
-			// routes forever. With history the penalty keeps growing, so
-			// an unchanged pass is not final and the loop continues.
+			// routes forever. With history or a weight schedule the
+			// penalty keeps growing, so an unchanged pass is not final and
+			// the loop continues.
 			res.Stalled = true
 			break
 		}
@@ -528,9 +742,10 @@ type PassResult struct {
 }
 
 // TwoPass implements the paper's two-pass flow over a layout: route all
-// nets, find congested passages, reroute only the affected nets with the
-// congestion penalty, and report both states. It is the MaxPasses-2,
-// zero-history special case of Negotiate. pitch sets passage capacity;
+// nets, find congested passages, sequentially rip up and reroute the nets
+// through them with the congestion penalty, and report both states. It is
+// the MaxPasses-2, zero-history special case of Negotiate. pitch sets
+// passage capacity;
 // weight is the detour the router will accept to avoid one overflowed
 // crossing; workers as in Router.RouteLayout.
 func TwoPass(l *layout.Layout, pitch, weight geom.Coord, workers int) (*PassResult, error) {

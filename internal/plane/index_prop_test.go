@@ -118,6 +118,18 @@ func checkIndexAgainstNaive(t *testing.T, seed int64) {
 			}
 		}
 
+		// RayHit runs on the interval trees (the y-span twin for horizontal
+		// rays); pin Stop/Blocked to the brute-force scan. The blocking cell
+		// id is unspecified when several cells share the stopping edge, so it
+		// is not compared.
+		d := geom.Dirs[r.Intn(4)]
+		limit := geom.Coord(r.Intn(221) - 10)
+		gotH := ix.RayHit(p, d, limit)
+		wantH := naiveRay(ix.Bounds(), rects, p, d, limit)
+		if gotH.Blocked != wantH.Blocked || gotH.Stop != wantH.Stop {
+			t.Fatalf("seed=%d RayHit(%v,%v,%d) = %+v, naive %+v", seed, p, d, limit, gotH, wantH)
+		}
+
 		lo := geom.Coord(r.Intn(220) - 10)
 		hi := lo + geom.Coord(r.Intn(120))
 		for _, vertical := range [2]bool{true, false} {

@@ -6,14 +6,23 @@ import (
 	"repro/internal/geom"
 )
 
-// intervalTree is a centered interval tree over the cells' x-spans: the
-// stabbing structure behind PointBlocked. Each node holds the intervals
-// straddling its center coordinate, sorted both by MinX ascending (byLo) and
-// MaxX descending (byHi), so a stab query visits only intervals that
-// actually contain the query coordinate plus O(log n) nodes.
+// span is one closed interval [lo, hi] filed in an intervalTree. The tree is
+// axis-agnostic: the x-tree files every cell's [MinX, MaxX] and the y-tree
+// its [MinY, MaxY], so both stabbing queries (PointBlocked) and ray pruning
+// (RayHit) run on the same structure.
+type span struct {
+	lo, hi geom.Coord
+}
+
+// intervalTree is a centered interval tree over one axis's cell spans: the
+// stabbing structure behind PointBlocked and RayHit. Each node holds the
+// spans straddling its center coordinate, sorted both by lo ascending (byLo)
+// and hi descending (byHi), so a stab query visits only spans that actually
+// contain the query coordinate plus O(log n) nodes.
 //
 // The tree is immutable after build, like the rest of the Index.
 type intervalTree struct {
+	spans []span // per-cell interval on this tree's axis, indexed by cell id
 	nodes []itNode
 	root  int32
 }
@@ -22,33 +31,50 @@ type intervalTree struct {
 type itNode struct {
 	center      geom.Coord
 	left, right int32
-	byLo        []int32 // straddling cells, ascending MinX (ties: cell asc)
-	byHi        []int32 // same cells, descending MaxX (ties: cell asc)
+	byLo        []int32 // straddling cells, ascending lo (ties: cell asc)
+	byHi        []int32 // same cells, descending hi (ties: cell asc)
 }
 
-// buildIntervalTree files every cell by its x-span. cornersX is the index's
-// corner table — every cell's MinX and MaxX already sorted — so each node's
-// center is an exact endpoint median found by indexing, and the recursion
-// passes order-preserving partitions down instead of re-sorting: the whole
-// build is O(n log n) without a comparator sort outside the per-node
-// straddler orderings. Centers being endpoint medians keeps the tree
-// balanced; an interval owning the center endpoint straddles it, which
+// buildIntervalTree files every cell span. corners is the index's corner
+// table for the same axis — every span's lo and hi already sorted — so each
+// node's center is an exact endpoint median found by indexing, and the
+// recursion passes order-preserving partitions down instead of re-sorting:
+// the whole build is O(n log n) without a comparator sort outside the
+// per-node straddler orderings. Centers being endpoint medians keeps the
+// tree balanced; a span owning the center endpoint straddles it, which
 // guarantees every recursion step strictly shrinks the remaining set.
-func buildIntervalTree(cells []geom.Rect, cornersX []Corner) intervalTree {
-	t := intervalTree{root: -1}
-	if len(cells) == 0 {
+func buildIntervalTree(spans []span, corners []Corner) intervalTree {
+	t := intervalTree{spans: spans, root: -1}
+	if len(spans) == 0 {
 		return t
 	}
-	ids := make([]int32, len(cells))
+	ids := make([]int32, len(spans))
 	for i := range ids {
 		ids[i] = int32(i)
 	}
 	t.nodes = make([]itNode, 0, 64)
 	// class[c] is cell c's side relative to the current node's center; it is
 	// only read for cells classified at the same recursion step.
-	class := make([]int8, len(cells))
-	t.root = t.build(cells, ids, cornersX, class)
+	class := make([]int8, len(spans))
+	t.root = t.build(ids, corners, class)
 	return t
+}
+
+// xSpans/ySpans extract the per-axis cell intervals the trees are built over.
+func xSpans(cells []geom.Rect) []span {
+	out := make([]span, len(cells))
+	for i, c := range cells {
+		out[i] = span{lo: c.MinX, hi: c.MaxX}
+	}
+	return out
+}
+
+func ySpans(cells []geom.Rect) []span {
+	out := make([]span, len(cells))
+	for i, c := range cells {
+		out[i] = span{lo: c.MinY, hi: c.MaxY}
+	}
+	return out
 }
 
 // Sides of a node's center, filed in class during one build step.
@@ -60,7 +86,7 @@ const (
 
 // build files ids (whose endpoints are exactly epts, in sorted order) and
 // returns the new node's index, or -1 for an empty set.
-func (t *intervalTree) build(cells []geom.Rect, ids []int32, epts []Corner, class []int8) int32 {
+func (t *intervalTree) build(ids []int32, epts []Corner, class []int8) int32 {
 	if len(ids) == 0 {
 		return -1
 	}
@@ -69,10 +95,10 @@ func (t *intervalTree) build(cells []geom.Rect, ids []int32, epts []Corner, clas
 	var lo, hi, here []int32
 	for _, ci := range ids {
 		switch {
-		case cells[ci].MaxX < center:
+		case t.spans[ci].hi < center:
 			class[ci] = sideLo
 			lo = append(lo, ci)
-		case cells[ci].MinX > center:
+		case t.spans[ci].lo > center:
 			class[ci] = sideHi
 			hi = append(hi, ci)
 		default:
@@ -94,24 +120,65 @@ func (t *intervalTree) build(cells []geom.Rect, ids []int32, epts []Corner, clas
 
 	byLo := append([]int32(nil), here...)
 	sort.Slice(byLo, func(a, b int) bool {
-		if cells[byLo[a]].MinX != cells[byLo[b]].MinX {
-			return cells[byLo[a]].MinX < cells[byLo[b]].MinX
+		if t.spans[byLo[a]].lo != t.spans[byLo[b]].lo {
+			return t.spans[byLo[a]].lo < t.spans[byLo[b]].lo
 		}
 		return byLo[a] < byLo[b]
 	})
 	byHi := append([]int32(nil), here...)
 	sort.Slice(byHi, func(a, b int) bool {
-		if cells[byHi[a]].MaxX != cells[byHi[b]].MaxX {
-			return cells[byHi[a]].MaxX > cells[byHi[b]].MaxX
+		if t.spans[byHi[a]].hi != t.spans[byHi[b]].hi {
+			return t.spans[byHi[a]].hi > t.spans[byHi[b]].hi
 		}
 		return byHi[a] < byHi[b]
 	})
 
 	ni := int32(len(t.nodes))
 	t.nodes = append(t.nodes, itNode{center: center, left: -1, right: -1, byLo: byLo, byHi: byHi})
-	left := t.build(cells, lo, eptsLo, class)
-	right := t.build(cells, hi, eptsHi, class)
+	left := t.build(lo, eptsLo, class)
+	right := t.build(hi, eptsHi, class)
 	t.nodes[ni].left = left
 	t.nodes[ni].right = right
 	return ni
+}
+
+// stab calls fn for every cell whose span strictly contains v (lo < v < hi),
+// each exactly once, in unspecified order. The walk is a single root-to-leaf
+// path: at each node only the sorted side that can contain v is scanned, and
+// the scan breaks at the first span that cannot.
+func (t *intervalTree) stab(v geom.Coord, fn func(ci int32)) {
+	ni := t.root
+	for ni >= 0 {
+		nd := &t.nodes[ni]
+		switch {
+		case v < nd.center:
+			// Every span filed here reaches at least to center > v, so only
+			// the lo side needs checking.
+			for _, ci := range nd.byLo {
+				if t.spans[ci].lo >= v {
+					break
+				}
+				fn(ci)
+			}
+			ni = nd.left
+		case v > nd.center:
+			for _, ci := range nd.byHi {
+				if t.spans[ci].hi <= v {
+					break
+				}
+				fn(ci)
+			}
+			ni = nd.right
+		default: // v == center: both strictness checks are live
+			for _, ci := range nd.byLo {
+				if t.spans[ci].lo >= v {
+					break
+				}
+				if t.spans[ci].hi > v {
+					fn(ci)
+				}
+			}
+			ni = -1 // subtrees hold spans strictly left/right of center
+		}
+	}
 }

@@ -3,11 +3,11 @@
 //
 // The paper keeps all points "linked to reflect their topological order in
 // both x and y" so that ray tracing (Sutherland's technique) can expand the
-// search frontier efficiently. This package realizes that idea with
-// per-axis sorted edge orderings: a ray query binary-searches the sorted
-// order for the first candidate edge ahead of the ray and scans forward, so
-// the nearest blocking cell is found without visiting obstacles behind the
-// ray or outside its corridor.
+// search frontier efficiently. This package realizes that idea with a pair
+// of centered interval trees, one per axis: a ray query stabs the tree of
+// the cross axis with the ray line, so only cells whose span actually
+// straddles the ray are visited — obstacles behind the ray, beyond it, or
+// outside its row/column band are never touched.
 //
 // An Index is immutable after New, which makes it safe to share across the
 // per-net router goroutines. Additional obstacles (routed nets in the
@@ -26,11 +26,6 @@ import (
 type Index struct {
 	bounds geom.Rect
 	cells  []geom.Rect
-	// Sorted cell-index orderings, one per ray direction.
-	byMinX []int32 // ascending MinX: candidates for East rays
-	byMaxX []int32 // ascending MaxX: candidates for West rays (scanned backward)
-	byMinY []int32 // ascending MinY: candidates for North rays
-	byMaxY []int32 // ascending MaxY: candidates for South rays (scanned backward)
 	// Corner-coordinate tables: every cell contributes both edge coordinates
 	// per axis, sorted by (coordinate, cell). Corridor-restricted corner
 	// enumeration (ray track vertices) and boundary lookup binary-search
@@ -38,8 +33,14 @@ type Index struct {
 	cornersX []Corner // MinX and MaxX of every cell, sorted by (At, Cell)
 	cornersY []Corner // MinY and MaxY of every cell, sorted by (At, Cell)
 	// xtree stabs the cells' x-spans: PointBlocked asks "which cells contain
-	// this x" in O(log n + answers) instead of a scan.
+	// this x" in O(log n + answers) instead of a scan, and vertical rays use
+	// it to visit only the cells whose x-span straddles the ray line.
 	xtree intervalTree
+	// ytree is the y-span twin: horizontal rays stab it with the ray's y so
+	// the forward scan skips every cell outside the ray's row band — the
+	// pruning that matters when many cells share an edge coordinate (macro
+	// grids, standard-cell rows).
+	ytree intervalTree
 }
 
 // Corner is one obstacle edge coordinate filed in a corner table: the
@@ -79,13 +80,12 @@ func FromLayout(l *layout.Layout) (*Index, error) {
 }
 
 // Overlay returns a new index containing the receiver's obstacles plus the
-// extra rectangles. The receiver is unchanged. The receiver's sorted
-// orderings and corner tables are merged with freshly sorted orderings of
-// the extras — O((n+m) + m log m) instead of re-sorting all n+m cells from
-// scratch, which matters because the sequential baseline overlays once per
-// routed net. The x-interval tree is rebuilt, but from the merged corner
-// table, so that costs O((n+m) log(n+m)) partition-and-file work with no
-// comparator re-sorts.
+// extra rectangles. The receiver is unchanged. The receiver's corner tables
+// are merged with freshly sorted tables of the extras — O((n+m) + m log m)
+// instead of re-sorting all n+m cells from scratch, which matters because
+// the sequential baseline overlays once per routed net. The interval trees
+// are rebuilt, but from the merged corner tables, so that costs
+// O((n+m) log(n+m)) partition-and-file work with no comparator re-sorts.
 func (ix *Index) Overlay(extra []geom.Rect) (*Index, error) {
 	n := len(ix.cells)
 	out := &Index{bounds: ix.bounds, cells: make([]geom.Rect, 0, n+len(extra))}
@@ -98,41 +98,27 @@ func (ix *Index) Overlay(extra []geom.Rect) (*Index, error) {
 	}
 	// Sort the extras alone, then merge with the receiver's sorted state.
 	sub := &Index{cells: out.cells} // ids n..n+m-1 index the combined slice
-	sub.sortOrders(n, len(out.cells))
-	out.byMinX = mergeOrder(out.cells, ix.byMinX, sub.byMinX, keyMinX)
-	out.byMaxX = mergeOrder(out.cells, ix.byMaxX, sub.byMaxX, keyMaxX)
-	out.byMinY = mergeOrder(out.cells, ix.byMinY, sub.byMinY, keyMinY)
-	out.byMaxY = mergeOrder(out.cells, ix.byMaxY, sub.byMaxY, keyMaxY)
+	sub.buildCorners(n, len(out.cells))
 	out.cornersX = mergeCorners(ix.cornersX, sub.cornersX)
 	out.cornersY = mergeCorners(ix.cornersY, sub.cornersY)
-	out.xtree = buildIntervalTree(out.cells, out.cornersX)
+	out.xtree = buildIntervalTree(xSpans(out.cells), out.cornersX)
+	out.ytree = buildIntervalTree(ySpans(out.cells), out.cornersY)
 	return out, nil
 }
 
 // reindex rebuilds every derived structure from scratch.
 func (ix *Index) reindex() {
-	ix.sortOrders(0, len(ix.cells))
-	ix.xtree = buildIntervalTree(ix.cells, ix.cornersX)
+	ix.buildCorners(0, len(ix.cells))
+	ix.xtree = buildIntervalTree(xSpans(ix.cells), ix.cornersX)
+	ix.ytree = buildIntervalTree(ySpans(ix.cells), ix.cornersY)
 }
 
-// sortOrders builds the four sorted orderings and the two corner tables for
-// the cell id range [lo, hi). New indexes the whole slice; Overlay indexes
-// just the appended extras and merges.
-func (ix *Index) sortOrders(lo, hi int) {
+// buildCorners builds the two corner tables for the cell id range [lo, hi).
+// New indexes the whole slice; Overlay indexes just the appended extras and
+// merges.
+func (ix *Index) buildCorners(lo, hi int) {
 	n := hi - lo
-	ix.byMinX = make([]int32, n)
-	ix.byMaxX = make([]int32, n)
-	ix.byMinY = make([]int32, n)
-	ix.byMaxY = make([]int32, n)
-	for i := 0; i < n; i++ {
-		id := int32(lo + i)
-		ix.byMinX[i], ix.byMaxX[i], ix.byMinY[i], ix.byMaxY[i] = id, id, id, id
-	}
 	c := ix.cells
-	sort.Slice(ix.byMinX, func(a, b int) bool { return c[ix.byMinX[a]].MinX < c[ix.byMinX[b]].MinX })
-	sort.Slice(ix.byMaxX, func(a, b int) bool { return c[ix.byMaxX[a]].MaxX < c[ix.byMaxX[b]].MaxX })
-	sort.Slice(ix.byMinY, func(a, b int) bool { return c[ix.byMinY[a]].MinY < c[ix.byMinY[b]].MinY })
-	sort.Slice(ix.byMaxY, func(a, b int) bool { return c[ix.byMaxY[a]].MaxY < c[ix.byMaxY[b]].MaxY })
 	ix.cornersX = make([]Corner, 0, 2*n)
 	ix.cornersY = make([]Corner, 0, 2*n)
 	for i := lo; i < hi; i++ {
@@ -150,29 +136,6 @@ func cornerLess(a, b Corner) bool {
 		return a.At < b.At
 	}
 	return a.Cell < b.Cell
-}
-
-// Sort keys for the per-direction orderings.
-func keyMinX(c geom.Rect) geom.Coord { return c.MinX }
-func keyMaxX(c geom.Rect) geom.Coord { return c.MaxX }
-func keyMinY(c geom.Rect) geom.Coord { return c.MinY }
-func keyMaxY(c geom.Rect) geom.Coord { return c.MaxY }
-
-// mergeOrder merges two cell-id orderings, each already sorted by key.
-func mergeOrder(cells []geom.Rect, a, b []int32, key func(geom.Rect) geom.Coord) []int32 {
-	out := make([]int32, 0, len(a)+len(b))
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		if key(cells[a[i]]) <= key(cells[b[j]]) {
-			out = append(out, a[i])
-			i++
-		} else {
-			out = append(out, b[j])
-			j++
-		}
-	}
-	out = append(out, a[i:]...)
-	return append(out, b[j:]...)
 }
 
 // mergeCorners merges two corner tables sorted by (At, Cell).
@@ -209,49 +172,13 @@ func (ix *Index) Cells() []geom.Rect { return append([]geom.Rect(nil), ix.cells.
 // legal routing locations. The query stabs the x-interval tree and filters
 // the survivors by y-span: O(log n + cells overlapping p.X).
 func (ix *Index) PointBlocked(p geom.Point) (cell int, blocked bool) {
-	t := &ix.xtree
 	best := int32(-1)
-	ni := t.root
-	for ni >= 0 {
-		nd := &t.nodes[ni]
-		switch {
-		case p.X < nd.center:
-			// Every interval filed here reaches at least to center > p.X, so
-			// only the MinX side needs checking.
-			for _, ci := range nd.byLo {
-				c := &ix.cells[ci]
-				if c.MinX >= p.X {
-					break
-				}
-				if c.MinY < p.Y && p.Y < c.MaxY && (best < 0 || ci < best) {
-					best = ci
-				}
-			}
-			ni = nd.left
-		case p.X > nd.center:
-			for _, ci := range nd.byHi {
-				c := &ix.cells[ci]
-				if c.MaxX <= p.X {
-					break
-				}
-				if c.MinY < p.Y && p.Y < c.MaxY && (best < 0 || ci < best) {
-					best = ci
-				}
-			}
-			ni = nd.right
-		default: // p.X == center: both strictness checks are live
-			for _, ci := range nd.byLo {
-				c := &ix.cells[ci]
-				if c.MinX >= p.X {
-					break
-				}
-				if c.MaxX > p.X && c.MinY < p.Y && p.Y < c.MaxY && (best < 0 || ci < best) {
-					best = ci
-				}
-			}
-			ni = -1 // subtrees hold intervals strictly left/right of center
+	ix.xtree.stab(p.X, func(ci int32) {
+		c := &ix.cells[ci]
+		if c.MinY < p.Y && p.Y < c.MaxY && (best < 0 || ci < best) {
+			best = ci
 		}
-	}
+	})
 	if best < 0 {
 		return -1, false
 	}
@@ -348,72 +275,54 @@ type Hit struct {
 // (x for East/West, y for North/South); it is clamped to the routing
 // bounds. A ray sliding along an obstacle boundary is not blocked — only
 // interior penetration stops it, because routes are allowed to hug cells.
+//
+// The query stabs the cross-axis interval tree with the ray line: only the
+// cells whose span strictly contains the ray's fixed coordinate are visited
+// at all, so a ray running down a corridor between macro rows touches
+// O(log n) nodes instead of scanning every cell ahead of it in the sorted
+// edge order (the pre-tree behaviour, which degraded badly when many cells
+// shared an edge coordinate).
 func (ix *Index) RayHit(from geom.Point, d geom.Dir, limit geom.Coord) Hit {
 	c := ix.cells
 	switch d {
 	case geom.East:
 		limit = geom.Min(limit, ix.bounds.MaxX)
 		best := Hit{Stop: limit, Cell: -1}
-		// First candidate: cells whose left edge is at or beyond the ray
-		// origin. (A left edge exactly at the origin blocks immediately.)
-		i := sort.Search(len(ix.byMinX), func(k int) bool { return c[ix.byMinX[k]].MinX >= from.X })
-		for ; i < len(ix.byMinX); i++ {
-			cell := ix.byMinX[i]
-			r := c[cell]
-			if r.MinX >= best.Stop {
-				break // sorted: everything further starts past the best stop
+		// Candidates: cells in the ray's row band whose left edge is at or
+		// beyond the origin. (A left edge exactly at the origin blocks
+		// immediately.)
+		ix.ytree.stab(from.Y, func(ci int32) {
+			if x := c[ci].MinX; x >= from.X && x < best.Stop {
+				best = Hit{Stop: x, Cell: int(ci), Blocked: true}
 			}
-			if r.MinY < from.Y && from.Y < r.MaxY {
-				best = Hit{Stop: r.MinX, Cell: int(cell), Blocked: true}
-			}
-		}
+		})
 		return best
 	case geom.West:
 		limit = geom.Max(limit, ix.bounds.MinX)
 		best := Hit{Stop: limit, Cell: -1}
-		// Candidates: cells whose right edge is at or before the origin,
-		// scanned from the largest MaxX downward.
-		i := sort.Search(len(ix.byMaxX), func(k int) bool { return c[ix.byMaxX[k]].MaxX > from.X })
-		for i--; i >= 0; i-- {
-			cell := ix.byMaxX[i]
-			r := c[cell]
-			if r.MaxX <= best.Stop {
-				break
+		ix.ytree.stab(from.Y, func(ci int32) {
+			if x := c[ci].MaxX; x <= from.X && x > best.Stop {
+				best = Hit{Stop: x, Cell: int(ci), Blocked: true}
 			}
-			if r.MinY < from.Y && from.Y < r.MaxY {
-				best = Hit{Stop: r.MaxX, Cell: int(cell), Blocked: true}
-			}
-		}
+		})
 		return best
 	case geom.North:
 		limit = geom.Min(limit, ix.bounds.MaxY)
 		best := Hit{Stop: limit, Cell: -1}
-		i := sort.Search(len(ix.byMinY), func(k int) bool { return c[ix.byMinY[k]].MinY >= from.Y })
-		for ; i < len(ix.byMinY); i++ {
-			cell := ix.byMinY[i]
-			r := c[cell]
-			if r.MinY >= best.Stop {
-				break
+		ix.xtree.stab(from.X, func(ci int32) {
+			if y := c[ci].MinY; y >= from.Y && y < best.Stop {
+				best = Hit{Stop: y, Cell: int(ci), Blocked: true}
 			}
-			if r.MinX < from.X && from.X < r.MaxX {
-				best = Hit{Stop: r.MinY, Cell: int(cell), Blocked: true}
-			}
-		}
+		})
 		return best
 	case geom.South:
 		limit = geom.Max(limit, ix.bounds.MinY)
 		best := Hit{Stop: limit, Cell: -1}
-		i := sort.Search(len(ix.byMaxY), func(k int) bool { return c[ix.byMaxY[k]].MaxY > from.Y })
-		for i--; i >= 0; i-- {
-			cell := ix.byMaxY[i]
-			r := c[cell]
-			if r.MaxY <= best.Stop {
-				break
+		ix.xtree.stab(from.X, func(ci int32) {
+			if y := c[ci].MaxY; y <= from.Y && y > best.Stop {
+				best = Hit{Stop: y, Cell: int(ci), Blocked: true}
 			}
-			if r.MinX < from.X && from.X < r.MaxX {
-				best = Hit{Stop: r.MaxY, Cell: int(cell), Blocked: true}
-			}
-		}
+		})
 		return best
 	}
 	return Hit{Stop: axisCoord(from, d), Cell: -1}

@@ -13,6 +13,62 @@ import (
 // query runs on a recycled search context (node arena, OPEN heap, state
 // table) that previous — and unrelated — queries have dirtied. Any state
 // leaking across context reuse shows up here as a diverging route.
+// TestIndexedTargetDeterminism pins the indexed target set on the workload
+// it exists for: high-terminal nets whose partial Steiner trees grow far
+// past the index threshold. Repeated whole-layout routes — across recycled
+// net scratch arenas, dirtied search pools, and different worker counts —
+// must stay byte-identical, which holds exactly because the indexed
+// nearest/crossing/contains queries agree with the naive scans including
+// the lexicographic tie-break on distance ties.
+func TestIndexedTargetDeterminism(t *testing.T) {
+	l, err := gen.MacroGrid(8, 8, 40, 30, 12, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := plane.FromLayout(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(ix, Options{})
+	reference, err := r.RouteLayout(l, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reference.Failed) != 0 {
+		t.Fatalf("reference failures: %v", reference.Failed)
+	}
+	// The 8-terminal control trees must actually engage the index.
+	maxSegs := 0
+	for i := range reference.Nets {
+		if n := len(reference.Nets[i].Segments); n > maxSegs {
+			maxSegs = n
+		}
+	}
+	if maxSegs < indexThreshold {
+		t.Fatalf("largest tree has %d segments; workload too small to exercise the index", maxSegs)
+	}
+	for round := 0; round < 2; round++ {
+		for _, workers := range []int{1, 4} {
+			got, err := r.RouteLayout(l, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range got.Nets {
+				g, w := &got.Nets[i], &reference.Nets[i]
+				if g.Found != w.Found || g.Length != w.Length || len(g.Segments) != len(w.Segments) {
+					t.Fatalf("round %d workers %d net %q: route diverged", round, workers, g.Net)
+				}
+				for s := range g.Segments {
+					if g.Segments[s] != w.Segments[s] {
+						t.Fatalf("round %d workers %d net %q segment %d: %v != %v",
+							round, workers, g.Net, s, g.Segments[s], w.Segments[s])
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestPooledSearchDeterminism(t *testing.T) {
 	mk := func(seed int64) (*Router, *layout.Layout) {
 		l, err := gen.RandomLayout(gen.Config{

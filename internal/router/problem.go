@@ -1,6 +1,8 @@
 package router
 
 import (
+	"sort"
+
 	"repro/internal/geom"
 	"repro/internal/ray"
 	"repro/internal/search"
@@ -19,17 +21,80 @@ type State struct {
 	virtual bool
 }
 
+// indexThreshold is the target-set size (points + segments) above which the
+// sorted-table index pays for itself. Below it the plain scans win: a
+// two-pin net has a single target point, and four binary searches cost more
+// than one subtraction. The property tests pin both paths to each other, so
+// the threshold is a pure performance knob.
+const indexThreshold = 16
+
 // targetSet is the goal of a connection search: a set of points and
 // segments. A plain two-pin route has a single target point; a Steiner
 // attachment targets the whole partially-built tree, segments included —
 // the paper's modification of the spanning-tree algorithm.
+//
+// On multi-terminal nets the partial tree reaches hundreds of segments, and
+// nearest/crossing run once per generated node, so large sets are answered
+// from a targetIndex of per-axis sorted tables instead of the linear scans.
+// RouteNet mutates one shared set as the tree accretes (addPoints/addSegs);
+// the index is brought up to date incrementally by prepare, which the
+// search core invokes once per run (search.PreparedProblem).
 type targetSet struct {
 	points []geom.Point
 	segs   []geom.Seg
+	// idx is allocated lazily, the first time the set grows past the index
+	// threshold: two-pin connection queries (the overwhelmingly common
+	// case) then pay for a small struct and two slice headers, not the
+	// full table set.
+	idx *targetIndex
+	// validated marks that every target point passed endpoint validation;
+	// RouteNet's candidate searches share one set, so the check runs once.
+	validated bool
+}
+
+// reset readies a recycled set for a new net, keeping table capacity.
+func (t *targetSet) reset() {
+	t.points = t.points[:0]
+	t.segs = t.segs[:0]
+	t.validated = false
+	if t.idx != nil {
+		t.idx.reset()
+	}
+}
+
+// addPoints appends target points; the index catches up on next prepare.
+func (t *targetSet) addPoints(pts ...geom.Point) {
+	t.points = append(t.points, pts...)
+}
+
+// addSeg appends one target segment; the index catches up on next prepare.
+func (t *targetSet) addSeg(s geom.Seg) {
+	t.segs = append(t.segs, s)
+}
+
+// prepare brings the index up to date when the set is large enough to be
+// worth indexing (or already was). Called by the search core before every
+// run; cheap when nothing changed.
+func (t *targetSet) prepare() {
+	if t.idx == nil {
+		if len(t.points)+len(t.segs) < indexThreshold {
+			return
+		}
+		t.idx = &targetIndex{}
+	}
+	t.idx.syncTo(t.points, t.segs)
+}
+
+// indexed reports whether the index covers the current set.
+func (t *targetSet) indexed() bool {
+	return t.idx != nil && t.idx.built && t.idx.nPts == len(t.points) && t.idx.nSegs == len(t.segs)
 }
 
 // contains reports whether p is on the target set.
 func (t *targetSet) contains(p geom.Point) bool {
+	if t.indexed() {
+		return t.idx.contains(p)
+	}
 	for _, q := range t.points {
 		if p == q {
 			return true
@@ -45,8 +110,13 @@ func (t *targetSet) contains(p geom.Point) bool {
 
 // nearest returns the closest point of the target set to p and its
 // Manhattan distance. The distance is an admissible heuristic; the point
-// guides ray generation.
+// guides ray generation. Distance ties break toward the lexicographically
+// smaller point, which makes the answer a pure function of the set — both
+// the scan below and the indexed query return the identical point.
 func (t *targetSet) nearest(p geom.Point) (geom.Point, geom.Coord) {
+	if t.indexed() {
+		return t.idx.nearest(p)
+	}
 	best := geom.Point{}
 	bestD := geom.Coord(-1)
 	consider := func(q geom.Point) {
@@ -71,8 +141,20 @@ func (t *targetSet) nearest(p geom.Point) (geom.Point, geom.Coord) {
 // first meets the target set, if it does. Rays are cast toward the nearest
 // target, but a travel segment can also cross a *different* target segment
 // transversally; detecting that crossing early is what lets a route attach
-// to the middle of an existing tree edge.
+// to the middle of an existing tree edge. The first contact is the answer:
+// every candidate lies on the travel segment, so its distance from `from`
+// determines it uniquely and the result does not depend on scan order.
 func (t *targetSet) crossing(from, to geom.Point) (geom.Point, bool) {
+	if from == to {
+		// Degenerate travel: the only possible contact is the point itself.
+		if t.contains(from) {
+			return from, true
+		}
+		return geom.Point{}, false
+	}
+	if t.indexed() {
+		return t.idx.crossing(from, to)
+	}
 	travel := geom.S(from, to)
 	d := travel.Dir()
 	best := geom.Point{}
@@ -114,6 +196,351 @@ func (t *targetSet) crossing(from, to geom.Point) (geom.Point, bool) {
 	return best, true
 }
 
+// targetSpan is one non-degenerate target segment filed in a targetIndex:
+// At is the fixed coordinate (x of a vertical segment, y of a horizontal
+// one), [Lo, Hi] the span along the segment's own axis.
+type targetSpan struct {
+	At, Lo, Hi geom.Coord
+}
+
+// targetIndex answers the targetSet queries from per-axis sorted tables,
+// the way plane.Index answers obstacle queries: nearest runs a best-first
+// outward scan over four tables (O(log n) binary searches plus the entries
+// within the best distance), crossing a bounded corridor scan over the
+// tables that can touch the travel segment.
+//
+// The point tables hold every target point plus every segment endpoint.
+// Endpoints are sound extra candidates for nearest: the clamp point of a
+// segment is its unique distance minimizer, so an endpoint either is the
+// clamp point or lies strictly farther — it can never win a distance tie
+// against a different point and perturb the lexicographic tie-break.
+// Degenerate (single-point) segments are filed as points only.
+type targetIndex struct {
+	ptsByX []geom.Point // target points + segment endpoints, sorted (X, Y)
+	ptsByY []geom.Point // same entries, sorted (Y, X)
+	vsegs  []targetSpan // vertical segments, sorted (At, Lo, Hi)
+	hsegs  []targetSpan // horizontal segments, sorted (At, Lo, Hi)
+
+	built       bool
+	nPts, nSegs int // prefix of points/segs already filed
+	scratchPts  []geom.Point
+	scratchV    []targetSpan
+	scratchH    []targetSpan
+}
+
+// reset empties the index, keeping capacity for reuse.
+func (ix *targetIndex) reset() {
+	ix.ptsByX = ix.ptsByX[:0]
+	ix.ptsByY = ix.ptsByY[:0]
+	ix.vsegs = ix.vsegs[:0]
+	ix.hsegs = ix.hsegs[:0]
+	ix.built = false
+	ix.nPts, ix.nSegs = 0, 0
+}
+
+// syncTo files every point and segment not yet in the tables. The new
+// entries of one round are sorted among themselves and merged into the
+// sorted tables backward in place — O(new log new + table) per round
+// instead of a full rebuild.
+func (ix *targetIndex) syncTo(points []geom.Point, segs []geom.Seg) {
+	if ix.nPts == len(points) && ix.nSegs == len(segs) {
+		ix.built = true
+		return
+	}
+	newPts := ix.scratchPts[:0]
+	newPts = append(newPts, points[ix.nPts:]...)
+	vs, hs := ix.scratchV[:0], ix.scratchH[:0]
+	for _, s := range segs[ix.nSegs:] {
+		if s.A == s.B {
+			newPts = append(newPts, s.A)
+			continue
+		}
+		newPts = append(newPts, s.A, s.B)
+		b := s.Bounds()
+		if s.Vertical() {
+			vs = append(vs, targetSpan{At: b.MinX, Lo: b.MinY, Hi: b.MaxY})
+		} else {
+			hs = append(hs, targetSpan{At: b.MinY, Lo: b.MinX, Hi: b.MaxX})
+		}
+	}
+	sort.Slice(newPts, func(a, b int) bool { return ptLessXY(newPts[a], newPts[b]) })
+	ix.ptsByX = mergeSorted(ix.ptsByX, newPts, ptLessXY)
+	sort.Slice(newPts, func(a, b int) bool { return ptLessYX(newPts[a], newPts[b]) })
+	ix.ptsByY = mergeSorted(ix.ptsByY, newPts, ptLessYX)
+	sort.Slice(vs, func(a, b int) bool { return spanLess(vs[a], vs[b]) })
+	ix.vsegs = mergeSorted(ix.vsegs, vs, spanLess)
+	sort.Slice(hs, func(a, b int) bool { return spanLess(hs[a], hs[b]) })
+	ix.hsegs = mergeSorted(ix.hsegs, hs, spanLess)
+	ix.scratchPts = newPts[:0]
+	ix.scratchV, ix.scratchH = vs[:0], hs[:0]
+	ix.nPts, ix.nSegs = len(points), len(segs)
+	ix.built = true
+}
+
+func ptLessXY(a, b geom.Point) bool {
+	if a.X != b.X {
+		return a.X < b.X
+	}
+	return a.Y < b.Y
+}
+
+func ptLessYX(a, b geom.Point) bool {
+	if a.Y != b.Y {
+		return a.Y < b.Y
+	}
+	return a.X < b.X
+}
+
+func spanLess(a, b targetSpan) bool {
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	if a.Lo != b.Lo {
+		return a.Lo < b.Lo
+	}
+	return a.Hi < b.Hi
+}
+
+// mergeSorted merges the sorted batch add into the sorted dst in place
+// (growing dst), back to front so no element is overwritten before it is
+// consumed. add must not alias dst.
+func mergeSorted[T any](dst, add []T, less func(a, b T) bool) []T {
+	if len(add) == 0 {
+		return dst
+	}
+	n := len(dst)
+	dst = append(dst, add...)
+	i, j, w := n-1, len(add)-1, len(dst)-1
+	for i >= 0 && j >= 0 {
+		if less(add[j], dst[i]) {
+			dst[w] = dst[i]
+			i--
+		} else {
+			dst[w] = add[j]
+			j--
+		}
+		w--
+	}
+	for j >= 0 {
+		dst[w] = add[j]
+		j--
+		w--
+	}
+	return dst
+}
+
+// contains reports whether p lies on an indexed point or segment.
+func (ix *targetIndex) contains(p geom.Point) bool {
+	i := sort.Search(len(ix.ptsByX), func(k int) bool { return !ptLessXY(ix.ptsByX[k], p) })
+	if i < len(ix.ptsByX) && ix.ptsByX[i] == p {
+		return true
+	}
+	j := sort.Search(len(ix.vsegs), func(k int) bool { return ix.vsegs[k].At >= p.X })
+	for ; j < len(ix.vsegs) && ix.vsegs[j].At == p.X; j++ {
+		if e := ix.vsegs[j]; e.Lo <= p.Y && p.Y <= e.Hi {
+			return true
+		}
+	}
+	k := sort.Search(len(ix.hsegs), func(k int) bool { return ix.hsegs[k].At >= p.Y })
+	for ; k < len(ix.hsegs) && ix.hsegs[k].At == p.Y; k++ {
+		if e := ix.hsegs[k]; e.Lo <= p.X && p.X <= e.Hi {
+			return true
+		}
+	}
+	return false
+}
+
+// nearest is the indexed nearest-target query: a best-first outward scan
+// over eight frontiers (left/right of p in each of the four tables), always
+// advancing the frontier with the smallest axis distance. Since Manhattan
+// distance is at least the distance along either axis, the scan can stop as
+// soon as every frontier's next entry is farther along its axis than the
+// best full distance found — candidates at exactly the best distance are
+// still visited, so the lexicographic tie-break sees every contender.
+//
+// A segment whose span contains p's cross coordinate contributes its clamp
+// point at full distance equal to the axis distance, so it is found the
+// moment its frontier is reached; segments beyond p's span contribute via
+// their endpoints in the point tables.
+func (ix *targetIndex) nearest(p geom.Point) (geom.Point, geom.Coord) {
+	best := geom.Point{}
+	bestD := geom.Coord(-1)
+	consider := func(q geom.Point) {
+		d := p.Manhattan(q)
+		if bestD < 0 || d < bestD || (d == bestD && q.Less(best)) {
+			best, bestD = q, d
+		}
+	}
+	xr := sort.Search(len(ix.ptsByX), func(k int) bool { return ix.ptsByX[k].X >= p.X })
+	xl := xr - 1
+	yr := sort.Search(len(ix.ptsByY), func(k int) bool { return ix.ptsByY[k].Y >= p.Y })
+	yl := yr - 1
+	vr := sort.Search(len(ix.vsegs), func(k int) bool { return ix.vsegs[k].At >= p.X })
+	vl := vr - 1
+	hr := sort.Search(len(ix.hsegs), func(k int) bool { return ix.hsegs[k].At >= p.Y })
+	hl := hr - 1
+	for {
+		minD := geom.Coord(-1)
+		minF := -1
+		upd := func(d geom.Coord, f int) {
+			if minD < 0 || d < minD {
+				minD, minF = d, f
+			}
+		}
+		if xl >= 0 {
+			upd(p.X-ix.ptsByX[xl].X, 0)
+		}
+		if xr < len(ix.ptsByX) {
+			upd(ix.ptsByX[xr].X-p.X, 1)
+		}
+		if yl >= 0 {
+			upd(p.Y-ix.ptsByY[yl].Y, 2)
+		}
+		if yr < len(ix.ptsByY) {
+			upd(ix.ptsByY[yr].Y-p.Y, 3)
+		}
+		if vl >= 0 {
+			upd(p.X-ix.vsegs[vl].At, 4)
+		}
+		if vr < len(ix.vsegs) {
+			upd(ix.vsegs[vr].At-p.X, 5)
+		}
+		if hl >= 0 {
+			upd(p.Y-ix.hsegs[hl].At, 6)
+		}
+		if hr < len(ix.hsegs) {
+			upd(ix.hsegs[hr].At-p.Y, 7)
+		}
+		if minF < 0 || (bestD >= 0 && minD > bestD) {
+			break
+		}
+		switch minF {
+		case 0:
+			consider(ix.ptsByX[xl])
+			xl--
+		case 1:
+			consider(ix.ptsByX[xr])
+			xr++
+		case 2:
+			consider(ix.ptsByY[yl])
+			yl--
+		case 3:
+			consider(ix.ptsByY[yr])
+			yr++
+		case 4:
+			if e := ix.vsegs[vl]; e.Lo <= p.Y && p.Y <= e.Hi {
+				consider(geom.Pt(e.At, p.Y))
+			}
+			vl--
+		case 5:
+			if e := ix.vsegs[vr]; e.Lo <= p.Y && p.Y <= e.Hi {
+				consider(geom.Pt(e.At, p.Y))
+			}
+			vr++
+		case 6:
+			if e := ix.hsegs[hl]; e.Lo <= p.X && p.X <= e.Hi {
+				consider(geom.Pt(p.X, e.At))
+			}
+			hl--
+		case 7:
+			if e := ix.hsegs[hr]; e.Lo <= p.X && p.X <= e.Hi {
+				consider(geom.Pt(p.X, e.At))
+			}
+			hr++
+		}
+	}
+	return best, bestD
+}
+
+// crossing is the indexed first-contact query for a non-degenerate travel
+// segment: point contacts come from the cross-axis point table's row (or
+// column) at the travel line, transversal segment contacts from a bounded
+// corridor scan between the travel endpoints, and collinear overlaps from
+// the same-At entries of the parallel table. Every candidate lies on the
+// travel segment, so the minimum distance from `from` identifies it
+// uniquely.
+func (ix *targetIndex) crossing(from, to geom.Point) (geom.Point, bool) {
+	bestD := geom.Coord(-1)
+	if from.Y == to.Y {
+		y := from.Y
+		xlo, xhi := geom.Min(from.X, to.X), geom.Max(from.X, to.X)
+		east := to.X > from.X
+		bestX := geom.Coord(0)
+		considerX := func(x geom.Coord) {
+			d := geom.Abs(from.X - x)
+			if bestD < 0 || d < bestD {
+				bestD, bestX = d, x
+			}
+		}
+		i := sort.Search(len(ix.ptsByY), func(k int) bool {
+			q := ix.ptsByY[k]
+			return q.Y > y || (q.Y == y && q.X >= xlo)
+		})
+		for ; i < len(ix.ptsByY) && ix.ptsByY[i].Y == y && ix.ptsByY[i].X <= xhi; i++ {
+			considerX(ix.ptsByY[i].X)
+		}
+		j := sort.Search(len(ix.vsegs), func(k int) bool { return ix.vsegs[k].At >= xlo })
+		for ; j < len(ix.vsegs) && ix.vsegs[j].At <= xhi; j++ {
+			if e := ix.vsegs[j]; e.Lo <= y && y <= e.Hi {
+				considerX(e.At)
+			}
+		}
+		k := sort.Search(len(ix.hsegs), func(k int) bool { return ix.hsegs[k].At >= y })
+		for ; k < len(ix.hsegs) && ix.hsegs[k].At == y; k++ {
+			e := ix.hsegs[k]
+			if lo, hi := geom.Max(xlo, e.Lo), geom.Min(xhi, e.Hi); lo <= hi {
+				if east {
+					considerX(lo)
+				} else {
+					considerX(hi)
+				}
+			}
+		}
+		if bestD < 0 {
+			return geom.Point{}, false
+		}
+		return geom.Pt(bestX, y), true
+	}
+	x := from.X
+	ylo, yhi := geom.Min(from.Y, to.Y), geom.Max(from.Y, to.Y)
+	north := to.Y > from.Y
+	bestY := geom.Coord(0)
+	considerY := func(y geom.Coord) {
+		d := geom.Abs(from.Y - y)
+		if bestD < 0 || d < bestD {
+			bestD, bestY = d, y
+		}
+	}
+	i := sort.Search(len(ix.ptsByX), func(k int) bool {
+		q := ix.ptsByX[k]
+		return q.X > x || (q.X == x && q.Y >= ylo)
+	})
+	for ; i < len(ix.ptsByX) && ix.ptsByX[i].X == x && ix.ptsByX[i].Y <= yhi; i++ {
+		considerY(ix.ptsByX[i].Y)
+	}
+	j := sort.Search(len(ix.hsegs), func(k int) bool { return ix.hsegs[k].At >= ylo })
+	for ; j < len(ix.hsegs) && ix.hsegs[j].At <= yhi; j++ {
+		if e := ix.hsegs[j]; e.Lo <= x && x <= e.Hi {
+			considerY(e.At)
+		}
+	}
+	k := sort.Search(len(ix.vsegs), func(k int) bool { return ix.vsegs[k].At >= x })
+	for ; k < len(ix.vsegs) && ix.vsegs[k].At == x; k++ {
+		e := ix.vsegs[k]
+		if lo, hi := geom.Max(ylo, e.Lo), geom.Min(yhi, e.Hi); lo <= hi {
+			if north {
+				considerY(lo)
+			} else {
+				considerY(hi)
+			}
+		}
+	}
+	if bestD < 0 {
+		return geom.Point{}, false
+	}
+	return geom.Pt(x, bestY), true
+}
+
 // connProblem adapts a connection query to the generic search framework.
 // The cur/emit/wrap fields are per-expansion scratch: the search core passes
 // one stable emit closure for the whole run, so the ray-to-search adapter
@@ -123,7 +550,7 @@ type connProblem struct {
 	gen        ray.Gen
 	cost       CostModel
 	sources    []geom.Point
-	targets    targetSet
+	targets    *targetSet
 	onExpand   func(geom.Point, search.Cost)
 	onGenerate func(geom.Point, search.Cost)
 
@@ -136,6 +563,7 @@ type connProblem struct {
 var (
 	_ search.Problem[State]       = (*connProblem)(nil)
 	_ search.TracedProblem[State] = (*connProblem)(nil)
+	_ search.PreparedProblem      = (*connProblem)(nil)
 )
 
 // stateTracer forwards search events to the router's callbacks.
@@ -165,6 +593,11 @@ func (p *connProblem) Tracer() search.Tracer[State] {
 	}
 	return stateTracer{onExpand: p.onExpand, onGenerate: p.onGenerate}
 }
+
+// Prepare implements search.PreparedProblem: it brings the target set's
+// sorted tables up to date with the points and segments RouteNet appended
+// since the last search, once per run.
+func (p *connProblem) Prepare() { p.targets.prepare() }
 
 // Start implements search.Problem with the synthetic multi-source node.
 func (p *connProblem) Start() State { return State{virtual: true} }

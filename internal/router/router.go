@@ -130,15 +130,18 @@ func (r *Router) validEndpoint(p geom.Point) error {
 // nearest (by cost) part of the target set. Target segments admit
 // mid-segment attachment, which is what the Steiner construction needs.
 func (r *Router) RouteConnection(sources, targetPts []geom.Point, targetSegs []geom.Seg) (Route, error) {
-	return r.routeConnection(sources, targetPts, targetSegs, 0)
+	ts := &targetSet{points: targetPts, segs: targetSegs}
+	return r.routeConnection(sources, ts, 0)
 }
 
 // routeConnection is RouteConnection with an optional cost ceiling (0 = no
 // ceiling): a search that provably cannot produce a route costing at most
 // maxCost aborts early and reports not-found. RouteNet's greedy candidate
-// loop supplies the best attachment cost found so far as the ceiling.
-func (r *Router) routeConnection(sources, targetPts []geom.Point, targetSegs []geom.Seg, maxCost search.Cost) (Route, error) {
-	if len(sources) == 0 || (len(targetPts) == 0 && len(targetSegs) == 0) {
+// loop supplies the best attachment cost found so far as the ceiling, and
+// shares one target set across candidates so the target index and the
+// endpoint validation are paid once per round, not once per candidate.
+func (r *Router) routeConnection(sources []geom.Point, targets *targetSet, maxCost search.Cost) (Route, error) {
+	if len(sources) == 0 || (len(targets.points) == 0 && len(targets.segs) == 0) {
 		return Route{}, fmt.Errorf("router: empty source or target set")
 	}
 	for _, p := range sources {
@@ -146,16 +149,19 @@ func (r *Router) routeConnection(sources, targetPts []geom.Point, targetSegs []g
 			return Route{}, err
 		}
 	}
-	for _, p := range targetPts {
-		if err := r.validEndpoint(p); err != nil {
-			return Route{}, err
+	if !targets.validated {
+		for _, p := range targets.points {
+			if err := r.validEndpoint(p); err != nil {
+				return Route{}, err
+			}
 		}
+		targets.validated = true
 	}
 	prob := &connProblem{
 		gen:        ray.Gen{Ix: r.ix, Mode: r.opts.Mode},
 		cost:       r.cost,
 		sources:    sources,
-		targets:    targetSet{points: targetPts, segs: targetSegs},
+		targets:    targets,
 		onExpand:   r.opts.OnExpand,
 		onGenerate: r.opts.OnGenerate,
 	}
@@ -213,6 +219,20 @@ type NetRoute struct {
 	FailedTerminal string
 }
 
+// netScratch is the reusable per-RouteNet working state: the shared target
+// set (the connected points/segments of the growing tree plus its sorted
+// index tables) and the pin extraction arenas. Recycled through
+// netScratchPool so the greedy rounds of consecutive nets — every worker
+// routes thousands on macro layouts — stop re-allocating the same slices.
+type netScratch struct {
+	ts        targetSet
+	pinFlat   []geom.Point
+	pins      [][]geom.Point
+	remaining []int
+}
+
+var netScratchPool = sync.Pool{New: func() any { return &netScratch{} }}
+
 // RouteNet routes a multi-terminal net as an approximate Steiner tree. The
 // construction follows the paper: terminals are merged into a growing
 // connected set one at a time in minimum-spanning-tree fashion, except that
@@ -224,25 +244,46 @@ func (r *Router) RouteNet(net *layout.Net) (NetRoute, error) {
 	if len(net.Terminals) < 2 {
 		return out, fmt.Errorf("router: net %q needs at least two terminals", net.Name)
 	}
-	// The connected set starts as the pins of the terminal whose first pin
-	// is most central (deterministic and cheap); remaining terminals join
+	scratch := netScratchPool.Get().(*netScratch)
+	defer netScratchPool.Put(scratch)
+	// The connected set starts as the pins of one endpoint of the closest
+	// terminal pair (deterministic and cheap); remaining terminals join
 	// greedily by cheapest actual route, the adapted-Dijkstra order.
-	// Terminal pin slices are extracted once up front: the greedy rounds
-	// below revisit every unconnected terminal per round, and re-extracting
-	// was the router's single largest allocation source.
+	// Terminal pin slices are extracted once up front into the scratch
+	// arena: the greedy rounds below revisit every unconnected terminal per
+	// round, and re-extracting was the router's single largest allocation
+	// source. The flat backing array is filled completely before the
+	// per-terminal views are cut, so later appends cannot move it.
 	startIdx := r.pickStartTerminal(net)
-	pins := make([][]geom.Point, len(net.Terminals))
+	flat := scratch.pinFlat[:0]
 	for i := range net.Terminals {
-		pins[i] = pinPoints(&net.Terminals[i])
+		for _, p := range net.Terminals[i].Pins {
+			flat = append(flat, p.Pos)
+		}
 	}
-	connectedPts := append([]geom.Point(nil), pins[startIdx]...)
-	var connectedSegs []geom.Seg
-	remaining := make([]int, 0, len(net.Terminals)-1)
+	scratch.pinFlat = flat
+	pins := scratch.pins[:0]
+	rest := flat
+	for i := range net.Terminals {
+		n := len(net.Terminals[i].Pins)
+		pins = append(pins, rest[:n:n])
+		rest = rest[n:]
+	}
+	scratch.pins = pins
+
+	// ts is the shared target set: RouteNet appends to it as the tree
+	// grows, and every candidate search in a round reads the same sorted
+	// index (rebuilt incrementally at search start via the Prepare hook).
+	ts := &scratch.ts
+	ts.reset()
+	ts.addPoints(pins[startIdx]...)
+	remaining := scratch.remaining[:0]
 	for i := range net.Terminals {
 		if i != startIdx {
 			remaining = append(remaining, i)
 		}
 	}
+	scratch.remaining = remaining
 
 	for len(remaining) > 0 {
 		type cand struct {
@@ -263,7 +304,7 @@ func (r *Router) RouteNet(net *layout.Net) (NetRoute, error) {
 			if best.idx >= 0 && r.opts.WeightNum == 0 && best.route.Cost > 1 {
 				bound = best.route.Cost - 1
 			}
-			route, err := r.routeConnection(pins[ti], connectedPts, connectedSegs, bound)
+			route, err := r.routeConnection(pins[ti], ts, bound)
 			if err != nil {
 				return out, fmt.Errorf("net %q terminal %q: %w", net.Name, net.Terminals[ti].Name, err)
 			}
@@ -292,9 +333,9 @@ func (r *Router) RouteNet(net *layout.Net) (NetRoute, error) {
 		for i := 1; i < len(best.route.Points); i++ {
 			seg := geom.S(best.route.Points[i-1], best.route.Points[i])
 			out.Segments = append(out.Segments, seg)
-			connectedSegs = append(connectedSegs, seg)
+			ts.addSeg(seg)
 		}
-		connectedPts = append(connectedPts, pins[ti]...)
+		ts.addPoints(pins[ti]...)
 	}
 	out.Found = true
 	return out, nil
@@ -320,15 +361,6 @@ func (r *Router) pickStartTerminal(net *layout.Net) int {
 		}
 	}
 	return best
-}
-
-// pinPoints extracts a terminal's pin locations.
-func pinPoints(t *layout.Terminal) []geom.Point {
-	pts := make([]geom.Point, len(t.Pins))
-	for i, p := range t.Pins {
-		pts[i] = p.Pos
-	}
-	return pts
 }
 
 // Validate checks that a route tree is geometrically legal: rectilinear,
