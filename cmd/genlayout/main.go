@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro"
 )
@@ -36,6 +37,7 @@ func main() {
 		gap     = flag.Int64("gap", 30, "grid cell gap")
 		pads    = flag.Int("pads", 24, "pad count (padring)")
 		outPath = flag.String("o", "", "output file (default stdout)")
+		stats   = flag.Bool("stats", false, "re-validate and print timing/separation stats to stderr")
 	)
 	flag.Parse()
 	if *n > 0 {
@@ -84,4 +86,13 @@ func main() {
 	s := l.Summary()
 	fmt.Fprintf(os.Stderr, "generated %q: %d cells, %d nets, %d pins, %.1f%% utilization\n",
 		l.Name, s.Cells, s.Nets, s.Pins, s.Utilization)
+	if *stats {
+		start := time.Now()
+		if err := l.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, "genlayout: validate:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "validated in %v; min cell separation %d, %d terminals\n",
+			time.Since(start).Round(time.Microsecond), l.MinSeparation(), s.Terminals)
+	}
 }

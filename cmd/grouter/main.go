@@ -1,4 +1,5 @@
-// Command grouter globally routes a general-cell layout.
+// Command grouter globally routes a general-cell layout through the
+// prepared-session Engine API.
 //
 // Usage:
 //
@@ -6,11 +7,14 @@
 //	grouter -input chip.json -corner -workers 8
 //	grouter -input chip.json -congestion -pitch 4 -weight 100
 //	grouter -input chip.json -congestion -passes 2 -history 0   # the paper's plain two-pass flow
+//	grouter -input chip.json -congestion -timeout 30s           # budgeted: partial report on expiry
 //	grouter -input chip.json -tracks          # include detailed tracks
 //	grouter -input chip.json -wires           # dump the routed wires
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +36,7 @@ func main() {
 		history    = flag.Int("history", 1, "history gain per past overflow (0 = paper's plain penalty)")
 		weightStep = flag.Int64("weightstep", 0, "present-cost escalation per pass (0 = flat weight)")
 		historyW   = flag.Int64("historyweight", 0, "history step decoupled from -weight (0 = coupled)")
+		timeout    = flag.Duration("timeout", 0, "wall-clock budget; on expiry the partial per-pass report is printed (0 = none)")
 		tracks     = flag.Bool("tracks", false, "run detailed track assignment")
 		wires      = flag.Bool("wires", false, "print the routed segments")
 		draw       = flag.Bool("draw", false, "render the routed layout as ASCII art")
@@ -55,21 +60,45 @@ func main() {
 	fmt.Printf("layout %q: %d cells, %d nets, %d pins, %.1f%% utilization\n",
 		l.Name, s.Cells, s.Nets, s.Pins, s.Utilization)
 
+	opts := []genroute.Option{
+		genroute.WithWorkers(*workers),
+		genroute.WithPitch(*pitch),
+		genroute.WithPenaltyWeight(*weight),
+		genroute.WithMaxPasses(*passes),
+		genroute.WithHistory(*history, *historyW),
+		genroute.WithWeightStep(*weightStep),
+	}
+	if *corner {
+		opts = append(opts, genroute.WithCornerRule())
+	}
+	e, err := genroute.NewEngine(l, opts...)
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	if *congestion {
-		res, err := genroute.RouteNegotiated(l, genroute.CongestionConfig{
-			Pitch: *pitch, Weight: *weight, MaxPasses: *passes,
-			Workers: *workers, HistoryGain: *history,
-			WeightStep: *weightStep, HistoryWeight: *historyW,
-		})
-		if err != nil {
+		res, err := e.RouteNegotiated(ctx)
+		expired := errors.Is(err, context.DeadlineExceeded)
+		if err != nil && !expired {
 			fatal(err)
 		}
 		for i, p := range res.Passes {
-			fmt.Printf("pass %d: length=%d overflow=%d (over %d passages), rerouted %d nets, %d layout expansions, pass took %v\n",
+			fmt.Printf("pass %d: length=%d overflow=%d (over %d passages), rerouted %d nets, routed %d/%d, %d layout expansions, pass took %v\n",
 				i+1, p.TotalLength, p.Overflow, p.Overflowed,
-				len(p.Rerouted), p.Stats.Expanded, p.Elapsed.Round(time.Microsecond))
+				len(p.Rerouted), p.Routed, s.Nets, p.Stats.Expanded, p.Elapsed.Round(time.Microsecond))
 		}
 		switch {
+		case expired:
+			fmt.Printf("TIMEOUT after %v: partial result above (%d passes recorded, overflow %d); raise -timeout to finish\n",
+				*timeout, len(res.Passes), e.Overflow())
+			os.Exit(1)
 		case res.Converged && len(res.Passes) == 1:
 			fmt.Println("no congestion: single pass suffices")
 		case res.Converged:
@@ -85,15 +114,13 @@ func main() {
 		return
 	}
 
-	opts := []genroute.Option{genroute.WithWorkers(*workers)}
-	if *corner {
-		opts = append(opts, genroute.WithCornerRule())
+	res, err := e.RouteAll(ctx)
+	if errors.Is(err, context.DeadlineExceeded) {
+		routed := len(res.Nets) - len(res.Failed)
+		fmt.Printf("TIMEOUT after %v: %d/%d nets routed, partial length %d\n",
+			*timeout, routed, len(res.Nets), res.TotalLength)
+		os.Exit(1)
 	}
-	r, err := genroute.NewRouter(l, opts...)
-	if err != nil {
-		fatal(err)
-	}
-	res, err := r.RouteAll()
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,474 @@
+package genroute
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/congest"
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/plane"
+	"repro/internal/router"
+)
+
+// Edit is a staged ECO (engineering change order) transaction over an
+// Engine. Stage any number of AddNet/RemoveNet/MoveCell operations, then
+// Commit: the engine applies the edits to its layout, marks the dirty nets,
+// overlays the obstacle index, and reroutes only the dirty set plus the
+// nets the edit pushed into overflow — the unedited, unaffected nets keep
+// their routes byte-identical (see Commit for the exact guarantee).
+//
+// Staging performs name-level validation immediately (unknown nets/cells,
+// duplicate additions); geometric validation of the edited layout happens
+// once at Commit. A transaction that fails to Commit leaves the engine
+// untouched. An Edit is single-use: after a successful Commit, open a new
+// one for further changes.
+type Edit struct {
+	e         *Engine
+	ops       []editOp
+	committed bool
+}
+
+type editKind uint8
+
+const (
+	opAddNet editKind = iota
+	opRemoveNet
+	opMoveCell
+)
+
+type editOp struct {
+	kind editKind
+	net  Net    // opAddNet (deep copy, staged)
+	name string // opRemoveNet net name / opMoveCell cell name
+	d    Point  // opMoveCell translation
+}
+
+// Edit opens a new ECO transaction over the session.
+func (e *Engine) Edit() *Edit { return &Edit{e: e} }
+
+// netExists reports whether the staged view of the layout — the engine's
+// nets minus staged removals plus staged additions — contains name.
+func (tx *Edit) netExists(name string) bool {
+	_, present := tx.e.netIdx[name]
+	for _, op := range tx.ops {
+		switch {
+		case op.kind == opAddNet && op.net.Name == name:
+			present = true
+		case op.kind == opRemoveNet && op.name == name:
+			present = false
+		}
+	}
+	return present
+}
+
+// AddNet stages a new net. The net is deep-copied; its pins are validated
+// geometrically at Commit. The name must not collide with the staged view
+// of the layout (re-adding a net staged for removal is fine and is how a
+// net's pins are changed in place).
+func (tx *Edit) AddNet(n Net) error {
+	if tx.committed {
+		return fmt.Errorf("genroute: Edit already committed")
+	}
+	if n.Name == "" {
+		return fmt.Errorf("genroute: AddNet: net has no name")
+	}
+	if tx.netExists(n.Name) {
+		return fmt.Errorf("genroute: AddNet: net %q already exists", n.Name)
+	}
+	tx.ops = append(tx.ops, editOp{kind: opAddNet, net: cloneNet(&n)})
+	return nil
+}
+
+// RemoveNet stages the removal of a net by name, unrouting it on Commit.
+func (tx *Edit) RemoveNet(name string) error {
+	if tx.committed {
+		return fmt.Errorf("genroute: Edit already committed")
+	}
+	if !tx.netExists(name) {
+		return fmt.Errorf("genroute: RemoveNet: no net %q", name)
+	}
+	// Removing a net staged for addition just drops the staged op.
+	for i, op := range tx.ops {
+		if op.kind == opAddNet && op.net.Name == name {
+			tx.ops = append(tx.ops[:i], tx.ops[i+1:]...)
+			return nil
+		}
+	}
+	tx.ops = append(tx.ops, editOp{kind: opRemoveNet, name: name})
+	return nil
+}
+
+// MoveCell stages a rigid translation of a cell by (dx, dy). The cell's
+// pins move with it; every net with a pin on the cell becomes dirty, as
+// does any net whose existing route the moved cell now blocks. The
+// translated placement must still satisfy the paper's separation
+// restrictions (checked at Commit). Multiple moves of one cell accumulate.
+func (tx *Edit) MoveCell(name string, dx, dy int64) error {
+	if tx.committed {
+		return fmt.Errorf("genroute: Edit already committed")
+	}
+	for i := range tx.e.l.Cells {
+		if tx.e.l.Cells[i].Name == name {
+			tx.ops = append(tx.ops, editOp{kind: opMoveCell, name: name, d: Pt(dx, dy)})
+			return nil
+		}
+	}
+	return fmt.Errorf("genroute: MoveCell: no cell %q", name)
+}
+
+// Len reports the number of staged operations.
+func (tx *Edit) Len() int { return len(tx.ops) }
+
+// ECOResult reports a committed ECO transaction.
+type ECOResult struct {
+	// Dirty lists, by name in rip-up order, the nets the edit itself
+	// forced to reroute: added nets, nets with pins on moved cells, kept
+	// nets whose routes a moved cell blocked, and (after a geometry
+	// change) previously unrouted nets retried against the new placement.
+	// Nets dragged in later by overflow negotiation appear in the repair
+	// passes' Rerouted lists instead.
+	Dirty []string
+	// Repair records the incremental negotiation: one entry per repair
+	// pass (no initial full-route pass, unlike RouteNegotiated). Empty
+	// when the edit dirtied nothing and no overflow existed.
+	Repair *NegotiatedResult
+	// Result is the session's routing state after the commit.
+	Result *Result
+	// Converged reports zero passage overflow after the repair.
+	Converged bool
+	// Elapsed is the total commit wall time, including validation and
+	// index/table maintenance.
+	Elapsed time.Duration
+}
+
+// Commit applies the staged edits and incrementally repairs the routing.
+//
+// The engine must hold a routed session (RouteAll or RouteNegotiated). The
+// edited layout is validated as a whole; on any validation error the
+// engine is left exactly as it was. The repair then reroutes the dirty
+// nets — in ascending net order, each against the live congestion map —
+// and extends, worklist-style, to every net in a passage the edit or the
+// reroutes pushed over capacity, draining overflow with the same
+// escalating rip-up passes as RouteNegotiated.
+//
+// Equivalence guarantee: a committed ECO leaves every net's route exactly
+// as a from-scratch route of the edited layout would when the net is
+// untouched — not dirty and not visited by overflow negotiation — because
+// per-net routing depends only on the obstacle geometry, which is why the
+// paper's independent-net model admits incremental re-entry at all. Dirty
+// and overflow-visited nets are rerouted against the live map in the
+// documented rip-up order, so their routes match a from-scratch negotiation
+// only modulo that order and the session's accumulated history (a
+// from-scratch run prices its first pass penalty-free; the repair prices
+// dirty nets against live usage immediately). After a MoveCell the
+// obstacle geometry itself changes, so untouched nets keep their previous
+// routes — the stability an ECO exists to provide — rather than the routes
+// a from-scratch run might newly prefer through the vacated space; every
+// kept route is still verified legal against the new geometry and rerouted
+// if blocked. DESIGN.md spells out the full semantics.
+//
+// On cancellation the partially repaired — but internally consistent —
+// state is installed in the engine and returned with the context's error;
+// a later Commit of a fresh Edit (even an empty one is not needed — any
+// RouteNegotiated call) can resume draining the remaining overflow.
+func (tx *Edit) Commit(ctx context.Context) (*ECOResult, error) {
+	e := tx.e
+	if tx.committed {
+		return nil, fmt.Errorf("genroute: Edit already committed")
+	}
+	if e.cur == nil {
+		return nil, errNotRouted("Edit.Commit")
+	}
+	start := time.Now()
+	if len(tx.ops) == 0 {
+		tx.committed = true
+		return &ECOResult{
+			Result:    e.cur,
+			Converged: e.m.TotalOverflow() == 0,
+			Elapsed:   time.Since(start),
+		}, nil
+	}
+
+	// 1. Build the edited layout on a private clone.
+	removed := map[string]bool{}
+	var adds []Net
+	moves := map[string]Point{} // cell name → accumulated delta
+	for _, op := range tx.ops {
+		switch op.kind {
+		case opAddNet:
+			adds = append(adds, op.net)
+		case opRemoveNet:
+			removed[op.name] = true
+		case opMoveCell:
+			moves[op.name] = moves[op.name].Add(op.d)
+		}
+	}
+	l2 := e.l.Clone()
+	var keptOld []int // old net indices kept, in order
+	nets2 := l2.Nets[:0]
+	for i := range l2.Nets {
+		if removed[l2.Nets[i].Name] {
+			continue
+		}
+		keptOld = append(keptOld, i)
+		nets2 = append(nets2, l2.Nets[i])
+	}
+	numKept := len(nets2)
+	nets2 = append(nets2, adds...)
+	l2.Nets = nets2
+
+	movedCells := map[int]Point{} // cell index → delta
+	for name, d := range moves {
+		if d == Pt(0, 0) {
+			continue
+		}
+		for ci := range l2.Cells {
+			if l2.Cells[ci].Name == name {
+				movedCells[ci] = d
+				break
+			}
+		}
+	}
+	for ci, d := range movedCells {
+		c := &l2.Cells[ci]
+		c.Box = c.Box.Translate(d)
+		for vi := range c.Poly {
+			c.Poly[vi] = c.Poly[vi].Add(d)
+		}
+	}
+	if len(movedCells) > 0 {
+		// Pins ride with their cell, exactly like placement adjustment.
+		for ni := range l2.Nets {
+			for ti := range l2.Nets[ni].Terminals {
+				pins := l2.Nets[ni].Terminals[ti].Pins
+				for pi := range pins {
+					if d, ok := movedCells[int(pins[pi].Cell)]; ok {
+						pins[pi].Pos = pins[pi].Pos.Add(d)
+					}
+				}
+			}
+		}
+	}
+
+	// 2. Validate the edited layout as a whole (memoized, so this is cheap
+	// even at macro scale). Failure leaves the engine untouched.
+	if err := l2.Validate(); err != nil {
+		return nil, fmt.Errorf("genroute: ECO edit produces an invalid layout: %w", err)
+	}
+
+	// 3. Overlay the obstacle index: splice the moved cells' obstacle ids
+	// out and their translated rectangles in. Unmoved geometry keeps its
+	// derived tables; passages are re-extracted only when geometry moved.
+	ix2, spans2, passages2 := e.ix, e.spans, e.passages
+	geometryChanged := len(movedCells) > 0
+	if geometryChanged {
+		order := make([]int, 0, len(movedCells))
+		for ci := range movedCells {
+			order = append(order, ci)
+		}
+		sort.Ints(order)
+		var removedObs []int
+		var addedRects []geom.Rect
+		for _, ci := range order {
+			s := e.spans[ci]
+			for id := s[0]; id < s[1]; id++ {
+				removedObs = append(removedObs, id)
+			}
+			addedRects = append(addedRects, l2.Cells[ci].ObstacleRects()...)
+		}
+		// After an earlier MoveCell commit the spans are no longer in
+		// ascending id order across cells, so the ids collected above may
+		// be unsorted; remapSpans' renumbering binary-searches this list.
+		sort.Ints(removedObs)
+		var err error
+		ix2, err = e.ix.Edit(removedObs, addedRects)
+		if err != nil {
+			return nil, err
+		}
+		spans2 = remapSpans(e.spans, removedObs, order, l2)
+		passages2, err = congest.Extract(ix2, e.cfg.congest.Pitch)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// 4. Carry the routing state over to the new net numbering.
+	cur2 := &router.LayoutResult{Nets: make([]router.NetRoute, len(l2.Nets))}
+	for k, oldi := range keptOld {
+		cur2.Nets[k] = e.cur.Nets[oldi]
+	}
+	for ni := numKept; ni < len(l2.Nets); ni++ {
+		cur2.Nets[ni] = router.NetRoute{Net: l2.Nets[ni].Name}
+	}
+
+	// 5. The dirty set: added nets, nets whose pins moved, kept routes the
+	// new geometry blocks, and — after a geometry change — previously
+	// unrouted nets, which the new placement may have made routable (a
+	// from-scratch run would retry them too).
+	dirty := make(map[int]bool)
+	for ni := numKept; ni < len(l2.Nets); ni++ {
+		dirty[ni] = true
+	}
+	if geometryChanged {
+		for ni := range l2.Nets {
+			if dirty[ni] {
+				continue
+			}
+			if !cur2.Nets[ni].Found || netTouchesCells(&l2.Nets[ni], movedCells) ||
+				routeBlocked(ix2, cur2.Nets[ni].Segments) {
+				dirty[ni] = true
+			}
+		}
+	}
+	dirtyList := make([]int, 0, len(dirty))
+	for ni := range dirty {
+		dirtyList = append(dirtyList, ni)
+	}
+	sort.Ints(dirtyList)
+
+	// 6. The live map. With unchanged passages and numbering (pure
+	// additions) the session's map carries over; a removal renumbers the
+	// nets and a move changes the passage set, so those rebuild from the
+	// carried-over routes. History survives as long as the passage set
+	// does.
+	var m2 *congest.Map
+	history2 := e.history
+	switch {
+	case geometryChanged:
+		m2 = congest.BuildMap(passages2, netSegments(cur2))
+		history2 = nil // per-passage history is meaningless across a re-extract
+	case numKept != len(e.l.Nets):
+		// Removals renumbered the surviving nets; the map files routes by
+		// net index, so rebuild it over the carried-over routes.
+		m2 = congest.BuildMap(passages2, netSegments(cur2))
+	default:
+		m2 = e.m.Clone()
+	}
+
+	// 7. Repair: reroute the dirty set against the live map, then drain
+	// any overflow worklist-style (congest.RepairCtx).
+	ccfg := e.cfg.congest
+	ccfg.Workers = e.cfg.workers
+	ccfg.BaseOptions = e.cfg.opts
+	if geometryChanged && e.cfg.cornerRule {
+		// The corner cost probes cell boundaries; point it at the edited
+		// index before any reroute prices a bend.
+		ccfg.BaseOptions.Cost = router.CornerCost{Ix: ix2}
+	}
+	if e.cfg.progress != nil {
+		total := len(l2.Nets)
+		ccfg.OnPass = func(n int, p congest.Pass) {
+			e.emit(passProgress("eco", n, p, total))
+		}
+	}
+	rres, err := congest.RepairCtx(ctx, l2, ix2, passages2, m2, cur2, dirtyList, ccfg, history2)
+	if err != nil && rres == nil {
+		return nil, err // hard routing error: engine untouched
+	}
+
+	// 8. Install the new session state (also on cancellation: the partial
+	// repair is consistent — routes, map and history agree).
+	tx.committed = true
+	e.l = l2
+	e.ix = ix2
+	e.spans = spans2
+	e.passages = passages2
+	if e.cfg.cornerRule {
+		e.cfg.opts.Cost = router.CornerCost{Ix: ix2}
+	}
+	e.r = router.New(ix2, e.cfg.opts)
+	e.reindexNets()
+	final := cur2
+	if len(rres.Results) > 0 {
+		final = rres.Final()
+	}
+	e.setState(final, m2, append([]int(nil), rres.History...))
+
+	out := &ECOResult{
+		Dirty:     netNames(l2, dirtyList),
+		Repair:    rres,
+		Result:    final,
+		Converged: rres.Converged,
+		Elapsed:   time.Since(start),
+	}
+	return out, err
+}
+
+// remapSpans rebuilds the per-cell obstacle-id spans after Index.Edit:
+// surviving obstacles are renumbered compactly in their old order, then the
+// moved cells' new rectangles follow in ascending cell order (the order
+// their rects were appended).
+func remapSpans(spans [][2]int, removedObs, movedOrder []int, l2 *Layout) [][2]int {
+	movedSet := make(map[int]bool, len(movedOrder))
+	for _, ci := range movedOrder {
+		movedSet[ci] = true
+	}
+	// rank[i] = number of removed ids < i, for compact renumbering.
+	out := make([][2]int, len(spans))
+	numRemoved := func(x int) int {
+		// removedObs is ascending (built from ascending cells with
+		// ascending id ranges).
+		return sort.SearchInts(removedObs, x)
+	}
+	survivors := 0
+	for ci, s := range spans {
+		if movedSet[ci] {
+			continue
+		}
+		out[ci] = [2]int{s[0] - numRemoved(s[0]), s[1] - numRemoved(s[1])}
+		survivors += s[1] - s[0]
+	}
+	base := survivors
+	for _, ci := range movedOrder {
+		n := len(l2.Cells[ci].ObstacleRects())
+		out[ci] = [2]int{base, base + n}
+		base += n
+	}
+	return out
+}
+
+// netTouchesCells reports whether any pin of the net sits on one of the
+// given cells.
+func netTouchesCells(n *Net, cells map[int]Point) bool {
+	for ti := range n.Terminals {
+		for _, p := range n.Terminals[ti].Pins {
+			if _, ok := cells[int(p.Cell)]; ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// routeBlocked reports whether any segment of a route crosses an obstacle
+// interior of the given index.
+func routeBlocked(ix *plane.Index, segs []Seg) bool {
+	for _, s := range segs {
+		if _, blocked := ix.SegBlocked(s); blocked {
+			return true
+		}
+	}
+	return false
+}
+
+// netNames resolves net indices to names.
+func netNames(l *Layout, idx []int) []string {
+	out := make([]string, len(idx))
+	for i, ni := range idx {
+		out[i] = l.Nets[ni].Name
+	}
+	return out
+}
+
+// cloneNet deep-copies a net (terminals and pins).
+func cloneNet(n *Net) Net {
+	cp := Net{Name: n.Name, Terminals: make([]layout.Terminal, len(n.Terminals))}
+	for i := range n.Terminals {
+		t := n.Terminals[i]
+		cp.Terminals[i] = layout.Terminal{Name: t.Name, Pins: append([]Pin(nil), t.Pins...)}
+	}
+	return cp
+}

@@ -1,0 +1,265 @@
+package genroute
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/adjust"
+	"repro/internal/congest"
+	"repro/internal/detail"
+	"repro/internal/plane"
+	"repro/internal/router"
+)
+
+// Engine is a prepared routing session over one layout. NewEngine pays the
+// setup once — validation, the plane obstacle index, the congestion passage
+// tables — and every flow then runs as a method over that shared state:
+//
+//	e, _ := genroute.NewEngine(l, genroute.WithPitch(8))
+//	res, _ := e.RouteNegotiated(ctx)     // negotiated congestion
+//	tr, _  := e.AssignTracks(0)          // detailed tracks over the result
+//	tx := e.Edit()                       // incremental ECO editing
+//	tx.RemoveNet("clk2")
+//	eco, _ := tx.Commit(ctx)             // reroutes only the dirty nets
+//
+// Every routing method takes a context.Context: cancellation is cooperative
+// (threaded through the search inner loop, the layout worker pool and the
+// negotiation pass loop) and a cancelled call returns the consistent
+// partial result it had together with the context's error.
+//
+// The engine owns a private clone of the layout, so later edits through
+// Edit never mutate the caller's value. After RouteAll or RouteNegotiated
+// the engine retains the routing state — the per-net routes, the live
+// congestion map and the accumulated overflow history — which is what
+// Edit.Commit repairs incrementally instead of routing from scratch.
+//
+// An Engine's methods must not be called concurrently (routing itself
+// parallelizes internally across WithWorkers).
+type Engine struct {
+	l   *Layout
+	cfg config
+	ix  *plane.Index
+	// spans maps each layout cell to the half-open obstacle-id range it
+	// contributed to ix; ECO cell moves splice exactly those ids.
+	spans    [][2]int
+	r        *router.Router
+	passages []congest.Passage
+	netIdx   map[string]int
+
+	// Routed session state (nil until a whole-layout flow has run).
+	cur     *router.LayoutResult
+	m       *congest.Map
+	history []int
+}
+
+// NewEngine validates the layout (the paper's three placement restrictions
+// plus pin well-formedness) and prepares a routing session over a private
+// clone of it: obstacle index, router, and the congestion passage tables at
+// the configured pitch.
+func NewEngine(l *Layout, opts ...Option) (*Engine, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	// Clone after Validate so bare-polygon bounding boxes are filled in.
+	e := &Engine{l: l.Clone(), cfg: newConfig(opts)}
+	var err error
+	e.ix, e.spans, err = plane.FromLayoutSpans(e.l)
+	if err != nil {
+		return nil, err
+	}
+	if e.cfg.cornerRule {
+		e.cfg.opts.Cost = router.CornerCost{Ix: e.ix}
+	}
+	e.r = router.New(e.ix, e.cfg.opts)
+	e.passages, err = congest.Extract(e.ix, e.cfg.congest.Pitch)
+	if err != nil {
+		return nil, err
+	}
+	e.reindexNets()
+	return e, nil
+}
+
+// reindexNets rebuilds the name → index table (after construction and after
+// every committed edit).
+func (e *Engine) reindexNets() {
+	e.netIdx = make(map[string]int, len(e.l.Nets))
+	for i := range e.l.Nets {
+		e.netIdx[e.l.Nets[i].Name] = i
+	}
+}
+
+// Layout returns the engine's private copy of the layout, including every
+// committed edit. Treat it as read-only; mutate through Edit instead.
+func (e *Engine) Layout() *Layout { return e.l }
+
+// Routed reports whether the session holds a whole-layout routing state
+// (set by RouteAll and RouteNegotiated, updated by Edit.Commit).
+func (e *Engine) Routed() bool { return e.cur != nil }
+
+// Result returns the session's current whole-layout routing state, or nil
+// before the first RouteAll/RouteNegotiated.
+func (e *Engine) Result() *Result { return e.cur }
+
+// Overflow returns the total passage overflow of the current routing state
+// (0 before the first whole-layout route).
+func (e *Engine) Overflow() int {
+	if e.m == nil {
+		return 0
+	}
+	return e.m.TotalOverflow()
+}
+
+// errNotRouted guards the methods that need a routed session.
+func errNotRouted(flow string) error {
+	return fmt.Errorf("genroute: %s needs a routed session; call RouteAll or RouteNegotiated first", flow)
+}
+
+// setState installs a fresh routing state and its congestion bookkeeping.
+func (e *Engine) setState(res *router.LayoutResult, m *congest.Map, history []int) {
+	e.cur = res
+	e.m = m
+	if history == nil {
+		history = make([]int, len(e.passages))
+	}
+	e.history = history
+}
+
+// emit feeds the progress observer, if any.
+func (e *Engine) emit(p Progress) {
+	if e.cfg.progress != nil {
+		e.cfg.progress(p)
+	}
+}
+
+// passProgress adapts a congestion pass summary to a Progress event.
+func passProgress(phase string, n int, p congest.Pass, total int) Progress {
+	return Progress{
+		Phase:      phase,
+		Pass:       n,
+		Overflow:   p.Overflow,
+		Overflowed: p.Overflowed,
+		NetsRouted: p.Routed,
+		NetsTotal:  total,
+		Rerouted:   len(p.Rerouted),
+		Expanded:   p.Stats.Expanded,
+		Elapsed:    p.Elapsed,
+	}
+}
+
+// RouteAll routes every net independently (concurrently across
+// WithWorkers), replacing the session's routing state. On cancellation the
+// partial result — every net either fully routed or still marked not-Found
+// — is installed and returned together with the context's error.
+func (e *Engine) RouteAll(ctx context.Context) (*Result, error) {
+	res, err := e.r.RouteLayoutCtx(ctx, e.l, e.cfg.workers)
+	if res == nil {
+		return nil, err
+	}
+	m := congest.BuildMap(e.passages, netSegments(res))
+	e.setState(res, m, nil)
+	e.emit(Progress{
+		Phase:      "route",
+		Pass:       1,
+		Overflow:   m.TotalOverflow(),
+		Overflowed: len(m.Overflowed()),
+		NetsRouted: len(res.Nets) - len(res.Failed),
+		NetsTotal:  len(e.l.Nets),
+		Expanded:   res.Stats.Expanded,
+		Elapsed:    res.Elapsed,
+	})
+	return res, err
+}
+
+// RouteNegotiated iterates the negotiated-congestion loop over the prepared
+// session (see RouteNegotiated at package level for the algorithm),
+// replacing the session's routing state with the final pass. The progress
+// observer receives one "negotiate" event per pass. On cancellation the
+// passes completed so far — including a consistent partial final pass — are
+// installed and returned together with the context's error.
+func (e *Engine) RouteNegotiated(ctx context.Context) (*NegotiatedResult, error) {
+	ccfg := e.cfg.congest
+	ccfg.Workers = e.cfg.workers
+	ccfg.BaseOptions = e.cfg.opts // corner rule, mode, budget, trace hooks
+	if e.cfg.progress != nil {
+		total := len(e.l.Nets)
+		ccfg.OnPass = func(n int, p congest.Pass) {
+			e.emit(passProgress("negotiate", n, p, total))
+		}
+	}
+	res, err := congest.NegotiatePrepared(ctx, e.l, e.ix, e.passages, ccfg)
+	if res != nil && len(res.Results) > 0 {
+		e.setState(res.Final(), res.FinalMap().Clone(), append([]int(nil), res.History...))
+	}
+	return res, err
+}
+
+// RouteNet routes one net of the layout by name, independently of the
+// session's whole-layout state (which it does not modify).
+func (e *Engine) RouteNet(ctx context.Context, name string) (NetRoute, error) {
+	ni, ok := e.netIdx[name]
+	if !ok {
+		return NetRoute{}, fmt.Errorf("genroute: no net %q", name)
+	}
+	return e.r.RouteNetCtx(ctx, &e.l.Nets[ni])
+}
+
+// RoutePoints routes between two arbitrary points, avoiding all cells.
+func (e *Engine) RoutePoints(ctx context.Context, a, b Point) (Route, error) {
+	return e.r.RoutePointsCtx(ctx, a, b)
+}
+
+// Validate checks a routed net tree against the layout geometry.
+func (e *Engine) Validate(nr *NetRoute) error { return e.r.Validate(nr) }
+
+// CheckConnectivity verifies that the session's current routing state
+// physically connects every net.
+func (e *Engine) CheckConnectivity() error {
+	if e.cur == nil {
+		return errNotRouted("CheckConnectivity")
+	}
+	return CheckConnectivity(e.l, e.cur)
+}
+
+// AssignTracks runs the detailed-routing stage — dynamic channel formation
+// and left-edge track assignment — over the session's current routing
+// state. window is the interference proximity (0 for the default).
+func (e *Engine) AssignTracks(window int64) (*TrackResult, error) {
+	if e.cur == nil {
+		return nil, errNotRouted("AssignTracks")
+	}
+	return detail.Assign(e.cur, detail.Options{Window: window}), nil
+}
+
+// AssignLayers applies the two-layer HV discipline with via counting over
+// the session's current routing state.
+func (e *Engine) AssignLayers() (*LayerResult, error) {
+	if e.cur == nil {
+		return nil, errNotRouted("AssignLayers")
+	}
+	return detail.AssignLayers(e.cur), nil
+}
+
+// AdjustPlacement runs the spacing feedback loop on a clone of the
+// session's layout: route, measure passage congestion, widen overflowed
+// passages by shifting cells apart, repeat until the routing fits or the
+// WithAdjustIters budget runs out. The session's own layout and routing
+// state are not modified (the adjusted placement changes cell positions,
+// which a prepared session cannot absorb in place; build a new Engine over
+// result.Layout to continue with it). On cancellation the iterations
+// completed so far are returned with the context's error.
+func (e *Engine) AdjustPlacement(ctx context.Context) (*AdjustResult, error) {
+	return adjust.RunCtx(ctx, e.l, adjust.Options{
+		Pitch:    e.cfg.congest.Pitch,
+		MaxIters: e.cfg.adjustIters,
+		Workers:  e.cfg.workers,
+	})
+}
+
+// netSegments flattens a layout result into one segment list per net.
+func netSegments(lr *router.LayoutResult) [][]Seg {
+	out := make([][]Seg, len(lr.Nets))
+	for i := range lr.Nets {
+		out[i] = lr.Nets[i].Segments
+	}
+	return out
+}

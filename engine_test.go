@@ -1,0 +1,422 @@
+package genroute
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/congest"
+)
+
+// funnelLayout overloads a narrow slit between two cells, the standard
+// congestion fixture.
+func funnelLayout(nNets int) *Layout {
+	l := &Layout{
+		Name:   "funnel",
+		Bounds: R(0, 0, 400, 200),
+		Cells: []Cell{
+			{Name: "lower", Box: R(190, 0, 210, 96)},
+			{Name: "upper", Box: R(190, 104, 210, 200)},
+		},
+	}
+	for i := 0; i < nNets; i++ {
+		y := int64(60 + 8*i)
+		l.Nets = append(l.Nets, Net{
+			Name: netName(i),
+			Terminals: []Terminal{
+				{Name: "w", Pins: []Pin{{Name: "p", Pos: Pt(10, y), Cell: NoCell}}},
+				{Name: "e", Pins: []Pin{{Name: "p", Pos: Pt(390, y), Cell: NoCell}}},
+			},
+		})
+	}
+	return l
+}
+
+// checkEngineConsistency asserts the session invariant: the live map equals
+// a fresh build over the session's routes, and every found route is legal
+// and connected.
+func checkEngineConsistency(t *testing.T, e *Engine) {
+	t.Helper()
+	if e.cur == nil {
+		t.Fatal("engine holds no routed state")
+	}
+	if len(e.cur.Nets) != len(e.l.Nets) {
+		t.Fatalf("state has %d nets, layout %d", len(e.cur.Nets), len(e.l.Nets))
+	}
+	fresh := congest.BuildMap(e.passages, netSegments(e.cur))
+	for pi := range e.m.Usage {
+		if e.m.Usage[pi] != fresh.Usage[pi] {
+			t.Fatalf("passage %d: live usage %d, routes imply %d", pi, e.m.Usage[pi], fresh.Usage[pi])
+		}
+	}
+	for i := range e.cur.Nets {
+		nr := &e.cur.Nets[i]
+		if nr.Net != e.l.Nets[i].Name {
+			t.Fatalf("state slot %d is %q, layout net is %q", i, nr.Net, e.l.Nets[i].Name)
+		}
+		if nr.Found {
+			if err := e.Validate(nr); err != nil {
+				t.Fatalf("illegal route: %v", err)
+			}
+		}
+	}
+	// The spans table must resolve every cell to exactly its obstacle
+	// rectangles in the live index (ECO cell moves splice through it).
+	for ci := range e.l.Cells {
+		rects := e.l.Cells[ci].ObstacleRects()
+		s := e.spans[ci]
+		if s[1]-s[0] != len(rects) {
+			t.Fatalf("cell %d span %v, want width %d", ci, s, len(rects))
+		}
+		for k, want := range rects {
+			if got := e.ix.Cell(s[0] + k); got != want {
+				t.Fatalf("cell %d (%s): span obstacle %d is %v, want %v",
+					ci, e.l.Cells[ci].Name, s[0]+k, got, want)
+			}
+		}
+	}
+}
+
+func TestEngineRouteAll(t *testing.T) {
+	l := demoLayout()
+	e, err := NewEngine(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Routed() {
+		t.Fatal("fresh engine claims a routed state")
+	}
+	res, err := e.RouteAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failed) != 0 {
+		t.Fatalf("failed nets: %v", res.Failed)
+	}
+	if !e.Routed() || e.Result() != res {
+		t.Fatal("session state not installed")
+	}
+	if err := e.CheckConnectivity(); err != nil {
+		t.Fatal(err)
+	}
+	checkEngineConsistency(t, e)
+	// The engine owns a clone: mutating the caller's layout afterwards
+	// must not affect the session.
+	l.Nets[0].Name = "mutated"
+	if _, err := e.RouteNet(context.Background(), "bus"); err != nil {
+		t.Fatalf("engine layout aliased caller state: %v", err)
+	}
+}
+
+func TestEngineMatchesLegacyRouter(t *testing.T) {
+	l := demoLayout()
+	e, err := NewEngine(l, WithCornerRule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eres, err := e.RouteAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRouter(l, WithCornerRule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rres, err := r.RouteAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eres.TotalLength != rres.TotalLength {
+		t.Fatalf("engine length %d, legacy router %d", eres.TotalLength, rres.TotalLength)
+	}
+	for i := range eres.Nets {
+		a, b := eres.Nets[i].SortedSegments(), rres.Nets[i].SortedSegments()
+		if len(a) != len(b) {
+			t.Fatalf("net %q diverged", eres.Nets[i].Net)
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				t.Fatalf("net %q diverged at segment %d", eres.Nets[i].Net, k)
+			}
+		}
+	}
+}
+
+func TestEngineRouteNegotiatedWithProgress(t *testing.T) {
+	var events []Progress
+	e, err := NewEngine(funnelLayout(10),
+		WithPitch(2), WithPenaltyWeight(150), WithWorkers(1),
+		WithProgress(func(p Progress) { events = append(events, p) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.RouteNegotiated(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Passes) < 2 {
+		t.Fatalf("funnel should need reroute passes, got %d", len(res.Passes))
+	}
+	if len(events) != len(res.Passes) {
+		t.Fatalf("observer saw %d events, result has %d passes", len(events), len(res.Passes))
+	}
+	for i, ev := range events {
+		if ev.Phase != "negotiate" || ev.Pass != i+1 {
+			t.Fatalf("event %d = %+v", i, ev)
+		}
+		if ev.NetsTotal != 10 || ev.NetsRouted != 10 {
+			t.Fatalf("event %d counts: %+v", i, ev)
+		}
+		if ev.Overflow != res.Passes[i].Overflow {
+			t.Fatalf("event %d overflow %d, pass says %d", i, ev.Overflow, res.Passes[i].Overflow)
+		}
+	}
+	if e.Overflow() != res.FinalMap().TotalOverflow() {
+		t.Fatalf("session overflow %d, final map %d", e.Overflow(), res.FinalMap().TotalOverflow())
+	}
+	checkEngineConsistency(t, e)
+}
+
+func TestEngineNegotiatedMatchesLegacy(t *testing.T) {
+	l := funnelLayout(10)
+	e, err := NewEngine(l, WithPitch(2), WithPenaltyWeight(150), WithWorkers(1), WithHistory(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eres, err := e.RouteNegotiated(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lres, err := RouteNegotiated(l, CongestionConfig{
+		Pitch: 2, Weight: 150, MaxPasses: congest.DefaultMaxPasses, Workers: 1, HistoryGain: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eres.Passes) != len(lres.Passes) {
+		t.Fatalf("engine took %d passes, legacy %d", len(eres.Passes), len(lres.Passes))
+	}
+	if eres.Final().TotalLength != lres.Final().TotalLength {
+		t.Fatalf("engine length %d, legacy %d", eres.Final().TotalLength, lres.Final().TotalLength)
+	}
+}
+
+// TestEngineNegotiatedHonorsBaseOptions pins the unified-options contract:
+// the negotiation's penalty-free first pass must route with the session's
+// base options (corner rule included), byte-identical to RouteAll under
+// the same options.
+func TestEngineNegotiatedHonorsBaseOptions(t *testing.T) {
+	l := demoLayout()
+	ea, err := NewEngine(l, WithCornerRule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := ea.RouteAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	en, err := NewEngine(l, WithCornerRule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	neg, err := en.RouteNegotiated(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := neg.Results[0]
+	for i := range all.Nets {
+		a, b := all.Nets[i].SortedSegments(), first.Nets[i].SortedSegments()
+		if len(a) != len(b) {
+			t.Fatalf("net %q: negotiation pass 1 ignored the base options", all.Nets[i].Net)
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				t.Fatalf("net %q: negotiation pass 1 ignored the base options", all.Nets[i].Net)
+			}
+		}
+	}
+	// The trace hooks must fire through the congestion flow too.
+	var expanded int
+	et, err := NewEngine(funnelLayout(6), WithPitch(2), WithPenaltyWeight(150), WithWorkers(1),
+		WithTrace(func(Point, int64) { expanded++ }, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := et.RouteNegotiated(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if expanded == 0 {
+		t.Fatal("trace hook silent through RouteNegotiated")
+	}
+}
+
+func TestEngineTracksAndLayers(t *testing.T) {
+	e, err := NewEngine(demoLayout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.AssignTracks(0); err == nil {
+		t.Fatal("AssignTracks before routing must error")
+	}
+	if _, err := e.AssignLayers(); err == nil {
+		t.Fatal("AssignLayers before routing must error")
+	}
+	if _, err := e.RouteAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := e.AssignTracks(0)
+	if err != nil || tr.Wires == 0 {
+		t.Fatalf("tracks: %v (%+v)", err, tr)
+	}
+	la, err := e.AssignLayers()
+	if err != nil || la == nil {
+		t.Fatalf("layers: %v", err)
+	}
+}
+
+func TestEngineAdjustPlacement(t *testing.T) {
+	e, err := NewEngine(funnelLayout(10), WithPitch(2), WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.AdjustPlacement(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("feedback loop should converge: %+v", res.Iterations)
+	}
+	if res.Layout.Bounds == e.Layout().Bounds {
+		t.Fatal("die should have grown")
+	}
+}
+
+func TestEngineRoutePointsAndNet(t *testing.T) {
+	e, err := NewEngine(demoLayout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	route, err := e.RoutePoints(context.Background(), Pt(0, 0), Pt(300, 300))
+	if err != nil || !route.Found {
+		t.Fatalf("corner-to-corner: %v", err)
+	}
+	nr, err := e.RouteNet(context.Background(), "clk")
+	if err != nil || !nr.Found {
+		t.Fatalf("clk: %v", err)
+	}
+	if _, err := e.RouteNet(context.Background(), "nope"); err == nil {
+		t.Fatal("unknown net must error")
+	}
+}
+
+func TestEngineCancelRouteAll(t *testing.T) {
+	e, err := NewEngine(funnelLayout(10), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := e.RouteAll(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || len(res.Nets) != 10 {
+		t.Fatal("partial result missing")
+	}
+	for i := range res.Nets {
+		if res.Nets[i].Found {
+			t.Fatal("net routed under a pre-cancelled context")
+		}
+	}
+	checkEngineConsistency(t, e) // partial state is still consistent
+}
+
+func TestEngineCancelMidNegotiation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	e, err := NewEngine(funnelLayout(10),
+		WithPitch(2), WithPenaltyWeight(150), WithWorkers(1),
+		WithProgress(func(p Progress) {
+			if p.Pass == 2 {
+				cancel() // stop after the first reroute pass is recorded
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.RouteNegotiated(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(res.Passes) < 2 {
+		t.Fatalf("want the recorded prefix, got %d passes", len(res.Passes))
+	}
+	// The cancelled session keeps a consistent partial state that a
+	// fresh negotiation can pick up from scratch.
+	checkEngineConsistency(t, e)
+}
+
+func TestEngineCancelNoGoroutineLeak(t *testing.T) {
+	e, err := NewEngine(funnelLayout(10), WithPitch(2), WithPenaltyWeight(150), WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, _ = e.RouteNegotiated(ctx)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 || time.Now().After(deadline) {
+			if n > before+2 {
+				t.Fatalf("goroutines leaked: %d before, %d after", before, n)
+			}
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestEngineUnifiedOptionsApply(t *testing.T) {
+	for _, opts := range [][]Option{
+		{WithCornerRule()},
+		{WithAllDirs(), WithMaxExpansions(100000)},
+		{WithPitch(8), WithPenaltyWeight(50), WithMaxPasses(3)},
+		{WithHistory(2, 10), WithWeightStep(40), WithWorkers(1)},
+		{WithAdjustIters(3), WithProgress(func(Progress) {})},
+	} {
+		e, err := NewEngine(demoLayout(), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.RouteAll(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Failed) != 0 {
+			t.Fatalf("failures with options: %v", res.Failed)
+		}
+	}
+}
+
+func TestEngineTraceOption(t *testing.T) {
+	var expanded, generated int
+	e, err := NewEngine(demoLayout(), WithTrace(
+		func(Point, int64) { expanded++ },
+		func(Point, int64) { generated++ },
+	), WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RoutePoints(context.Background(), Pt(0, 0), Pt(300, 300)); err != nil {
+		t.Fatal(err)
+	}
+	if expanded == 0 || generated == 0 {
+		t.Fatalf("trace hooks not called: expanded=%d generated=%d", expanded, generated)
+	}
+}

@@ -4,35 +4,43 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+
+	"repro"
 
 	"repro/internal/gen"
 	"repro/internal/geom"
 	"repro/internal/gridrouter"
 	"repro/internal/plane"
-	"repro/internal/router"
 	"repro/internal/search"
 	"repro/internal/viz"
 )
 
 func main() {
 	l, s, d := gen.Fig1Layout()
-	ix, err := plane.FromLayout(l)
+
+	// Route with the paper's configuration through the public Engine,
+	// tracing the search so the generated and expanded nodes can be drawn
+	// like the figure.
+	var expanded, generated []geom.Point
+	e, err := genroute.NewEngine(l, genroute.WithTrace(
+		func(p genroute.Point, g int64) { expanded = append(expanded, p) },
+		func(p genroute.Point, g int64) { generated = append(generated, p) },
+	))
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// Route with the paper's configuration, tracing the search so the
-	// generated and expanded nodes can be drawn like the figure.
-	var expanded, generated []geom.Point
-	r := router.New(ix, router.Options{
-		OnExpand:   func(p geom.Point, g search.Cost) { expanded = append(expanded, p) },
-		OnGenerate: func(p geom.Point, g search.Cost) { generated = append(generated, p) },
-	})
-	route, err := r.RoutePoints(s, d)
+	route, err := e.RoutePoints(context.Background(), s, d)
 	if err != nil || !route.Found {
 		log.Fatal("figure-1 route failed")
+	}
+
+	// Grid baselines run on the raw obstacle index.
+	ix, err := plane.FromLayout(l)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	// Grid baselines on the same problem.

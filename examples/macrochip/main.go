@@ -1,16 +1,22 @@
 // Macrochip: the full chip-assembly flow from the paper's introduction on
-// a generated macro-cell design — global routing (independent, parallel),
-// congestion analysis with a second pass, and detailed track assignment.
+// a generated macro-cell design, driven through one prepared Engine
+// session — negotiated congestion routing with live progress, detailed
+// track assignment, and an incremental ECO edit that reroutes only what a
+// late netlist change dirtied.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"repro"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// A synthetic chip: 24 macros, 70 nets, some multi-terminal and some
 	// with multi-pin terminals, plus boundary pads.
 	l, err := genroute.Random(genroute.GenConfig{
@@ -31,51 +37,84 @@ func main() {
 	fmt.Printf("chip %q: %d cells, %d nets, %d pins, %.1f%% cell utilization\n",
 		l.Name, s.Cells, s.Nets, s.Pins, s.Utilization)
 
-	// Phase 1: global routing. Nets are independent, so this fans out
-	// across all cores.
-	r, err := genroute.NewRouter(l, genroute.WithWorkers(0), genroute.WithCornerRule())
+	// One prepared session serves the whole flow: validation, obstacle
+	// index and congestion tables are built here, once. The progress
+	// observer streams per-pass state — the feed a serving dashboard
+	// would consume.
+	e, err := genroute.NewEngine(l,
+		genroute.WithWorkers(0),
+		genroute.WithCornerRule(),
+		genroute.WithPitch(4),
+		genroute.WithPenaltyWeight(200),
+		genroute.WithProgress(func(p genroute.Progress) {
+			fmt.Printf("  [%s pass %d] routed %d/%d, overflow %d, rerouted %d, %v\n",
+				p.Phase, p.Pass, p.NetsRouted, p.NetsTotal, p.Overflow, p.Rerouted,
+				p.Elapsed.Round(time.Millisecond))
+		}),
+	)
 	if err != nil {
 		log.Fatal(err)
-	}
-	res, err := r.RouteAll()
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("\nglobal routing: %d nets in %v, wirelength %d, %d expansions\n",
-		len(res.Nets), res.Elapsed, res.TotalLength, res.Stats.Expanded)
-	if len(res.Failed) > 0 {
-		fmt.Printf("  failed: %v\n", res.Failed)
-	}
-	if err := genroute.CheckConnectivity(l, res); err != nil {
-		log.Fatal("connectivity: ", err)
 	}
 
-	// Phase 2: congestion. Passages between adjacent cells have finite
-	// wire capacity; a second pass reroutes the nets using overflowed
-	// passages with a detour penalty.
-	cres, err := genroute.RouteWithCongestion(l, 4, 200, 0)
+	// Phase 1+2: negotiated congestion routing — the first pass routes
+	// every net independently in parallel, later passes rip up and
+	// negotiate overflowed passages.
+	fmt.Println("\nnegotiated routing:")
+	nres, err := e.RouteNegotiated(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\ncongestion: %d passages, overflow %d after pass 1\n",
-		len(cres.Before.Passages), cres.Before.TotalOverflow())
-	if cres.Second != nil {
-		fmt.Printf("  second pass rerouted %d nets: overflow %d -> %d, length %d -> %d\n",
-			len(cres.Rerouted), cres.Before.TotalOverflow(), cres.After.TotalOverflow(),
-			cres.First.TotalLength, cres.Second.TotalLength)
-		res = cres.Second
-	} else {
-		fmt.Println("  no overflow: the first pass stands")
+	res := nres.Final()
+	fmt.Printf("%d passes, converged=%v, wirelength %d, overflow %d\n",
+		len(nres.Passes), nres.Converged, res.TotalLength, e.Overflow())
+	if err := e.CheckConnectivity(); err != nil {
+		log.Fatal("connectivity: ", err)
 	}
 
 	// Phase 3: detailed routing — dynamic channels from net interference,
 	// left-edge track assignment inside each.
-	tr := genroute.AssignTracks(res, 0)
-	la := genroute.AssignLayers(res)
+	tr, err := e.AssignTracks(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	la, err := e.AssignLayers()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\ndetailed: %d wires -> %d channels, %d tracks total (largest channel %d) in %v\n",
 		tr.Wires, len(tr.Channels), tr.TotalTracks, tr.MaxTracks, tr.Elapsed)
 	fmt.Printf("layers: %d horizontal + %d vertical wires, %d vias\n",
 		la.HorizontalWires, la.VerticalWires, la.Vias)
+
+	// Phase 4: an ECO — a late netlist change. Drop one net, wire a new
+	// cross-chip strap, and commit: only the dirty nets (and any overflow
+	// victims) reroute; the rest of the chip is untouched.
+	fmt.Println("\nECO: remove one net, add a cross-chip strap:")
+	tx := e.Edit()
+	if err := tx.RemoveNet(e.Layout().Nets[0].Name); err != nil {
+		log.Fatal(err)
+	}
+	strap := genroute.Net{
+		Name: "eco_strap",
+		Terminals: []genroute.Terminal{
+			{Name: "w", Pins: []genroute.Pin{{Name: "p", Pos: genroute.Pt(0, 600), Cell: genroute.NoCell}}},
+			{Name: "e", Pins: []genroute.Pin{{Name: "p", Pos: genroute.Pt(1200, 600), Cell: genroute.NoCell}}},
+		},
+	}
+	if err := tx.AddNet(strap); err != nil {
+		log.Fatal(err)
+	}
+	eco, err := tx.Commit(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("committed in %v: %d dirty nets %v, %d repair passes, converged=%v\n",
+		eco.Elapsed.Round(time.Microsecond), len(eco.Dirty), eco.Dirty,
+		len(eco.Repair.Passes), eco.Converged)
+	if err := e.CheckConnectivity(); err != nil {
+		log.Fatal("post-ECO connectivity: ", err)
+	}
+	res = e.Result()
 
 	// Quality: compare each multi-terminal tree against the Steiner lower
 	// bound.
@@ -86,7 +125,7 @@ func main() {
 			continue
 		}
 		var pts []genroute.Point
-		for _, t := range l.Nets[i].Terminals {
+		for _, t := range e.Layout().Nets[i].Terminals {
 			pts = append(pts, t.Pins[0].Pos)
 		}
 		lb := genroute.TreeLowerBound(pts)

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,15 +21,15 @@ func main() {
 	s := l.Summary()
 	fmt.Printf("pad ring %q: %d pads, %d core cells\n", l.Name, s.Nets, s.Cells)
 
-	r, err := genroute.NewRouter(l, genroute.WithWorkers(0))
+	e, err := genroute.NewEngine(l, genroute.WithWorkers(0))
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := r.RouteAll()
+	res, err := e.RouteAll(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := genroute.CheckConnectivity(l, res); err != nil {
+	if err := e.CheckConnectivity(); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("A* routed %d/%d nets, wirelength %d, in %v\n",

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -45,18 +46,19 @@ func main() {
 		},
 	}
 
-	r, err := genroute.NewRouter(l, genroute.WithCornerRule())
+	ctx := context.Background()
+	e, err := genroute.NewEngine(l, genroute.WithCornerRule())
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := r.RouteAll()
+	res, err := e.RouteAll(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if len(res.Failed) > 0 {
 		log.Fatalf("failed: %v", res.Failed)
 	}
-	if err := genroute.CheckConnectivity(l, res); err != nil {
+	if err := e.CheckConnectivity(); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("routed %d nets over polygon cells, total length %d\n\n",
@@ -78,11 +80,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rp, err := genroute.NewRouter(pc, genroute.WithWorkers(0))
+	ep, err := genroute.NewEngine(pc, genroute.WithWorkers(0))
 	if err != nil {
 		log.Fatal(err)
 	}
-	pres, err := rp.RouteAll()
+	pres, err := ep.RouteAll(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,17 +39,18 @@ func main() {
 		},
 	}
 
-	// NewRouter validates the layout (rectangular cells, non-zero
-	// separation, pins on boundaries) and indexes the obstacles.
-	r, err := genroute.NewRouter(l, genroute.WithCornerRule())
+	// NewEngine validates the layout (rectangular cells, non-zero
+	// separation, pins on boundaries), indexes the obstacles and prepares
+	// the session; every flow then runs as a method under a context.
+	e, err := genroute.NewEngine(l, genroute.WithCornerRule())
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := r.RouteAll()
+	res, err := e.RouteAll(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := genroute.CheckConnectivity(l, res); err != nil {
+	if err := e.CheckConnectivity(); err != nil {
 		log.Fatal(err)
 	}
 

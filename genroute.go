@@ -16,16 +16,22 @@
 // # Quick start
 //
 //	l := &genroute.Layout{ ... cells, nets ... }
-//	r, err := genroute.NewRouter(l)
-//	res, err := r.RouteAll()
+//	e, err := genroute.NewEngine(l)
+//	res, err := e.RouteAll(ctx)
 //
-// See the examples directory for complete programs, DESIGN.md for the
-// system inventory, and EXPERIMENTS.md for the paper-vs-measured record.
+// An Engine is a prepared session: validation, the obstacle index and the
+// congestion tables are built once, every flow (RouteAll, RouteNegotiated,
+// AdjustPlacement, track/layer assignment) runs as a method sharing that
+// state under a context.Context, and Edit opens an incremental ECO
+// transaction that reroutes only what a layout change dirtied. See the
+// examples directory for complete programs and DESIGN.md for the system
+// architecture and the ECO semantics.
 package genroute
 
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/adjust"
 	"repro/internal/congest"
@@ -36,6 +42,7 @@ import (
 	"repro/internal/plane"
 	"repro/internal/ray"
 	"repro/internal/router"
+	"repro/internal/search"
 	"repro/internal/steiner"
 )
 
@@ -82,14 +89,48 @@ func Pt(x, y int64) Point { return geom.Pt(x, y) }
 // R constructs a Rect from any two opposite corners.
 func R(x0, y0, x1, y1 int64) Rect { return geom.R(x0, y0, x1, y1) }
 
-// config collects router options.
+// Default congestion parameters applied by NewEngine when the matching
+// option is not given; they mirror the grouter CLI defaults.
+const (
+	// DefaultPitch is the wire pitch used for passage capacity.
+	DefaultPitch = 4
+	// DefaultPenaltyWeight is the detour accepted per congested crossing.
+	DefaultPenaltyWeight = 100
+)
+
+// config collects the unified option set shared by Engine and the legacy
+// Router facade: base routing options, the congestion/negotiation
+// parameters (formerly CongestionConfig), the placement-adjustment budget
+// (formerly adjust.Options) and the progress observer.
 type config struct {
-	opts       router.Options
-	workers    int
-	cornerRule bool
+	opts        router.Options
+	workers     int
+	cornerRule  bool
+	congest     congest.Config
+	adjustIters int
+	progress    ProgressFunc
 }
 
-// Option customizes a Router.
+// newConfig applies the options over the engine defaults.
+func newConfig(opts []Option) config {
+	cfg := config{
+		congest: congest.Config{
+			Pitch:       DefaultPitch,
+			Weight:      DefaultPenaltyWeight,
+			MaxPasses:   congest.DefaultMaxPasses,
+			HistoryGain: 1,
+		},
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// Option customizes an Engine (or the legacy Router facade, which ignores
+// the congestion, adjustment and progress options). The one set covers
+// every flow: base routing, negotiated congestion, ECO repair and
+// placement adjustment.
 type Option func(*config)
 
 // WithCornerRule enables the paper's inverted-corner ε rule: among
@@ -107,7 +148,7 @@ func WithAllDirs() Option {
 }
 
 // WithWorkers sets the number of concurrent net-routing workers for
-// RouteAll; n <= 0 uses GOMAXPROCS.
+// RouteAll and the first negotiation pass; n <= 0 uses GOMAXPROCS.
 func WithWorkers(n int) Option {
 	return func(c *config) { c.workers = n }
 }
@@ -117,7 +158,102 @@ func WithMaxExpansions(n int) Option {
 	return func(c *config) { c.opts.MaxExpansions = n }
 }
 
+// WithPitch sets the wire pitch that derives passage capacity for the
+// congestion, ECO and adjustment flows (default DefaultPitch).
+func WithPitch(pitch int64) Option {
+	return func(c *config) { c.congest.Pitch = pitch }
+}
+
+// WithPenaltyWeight sets the base detour, in length units, a route accepts
+// to avoid one congested crossing (default DefaultPenaltyWeight).
+func WithPenaltyWeight(w int64) Option {
+	return func(c *config) { c.congest.Weight = w }
+}
+
+// WithMaxPasses bounds the negotiation loop, counting the initial route as
+// pass 1 (default congest.DefaultMaxPasses).
+func WithMaxPasses(n int) Option {
+	return func(c *config) { c.congest.MaxPasses = n }
+}
+
+// WithHistory configures the PathFinder history term: gain scales the
+// accumulated per-passage overflow history in the penalty (0 disables
+// history, reproducing the paper's plain present-cost penalty; the default
+// is 1), and weight, when positive, decouples the history step from the
+// present weight (see CongestionConfig.HistoryWeight).
+func WithHistory(gain int, weight int64) Option {
+	return func(c *config) {
+		c.congest.HistoryGain = gain
+		c.congest.HistoryWeight = weight
+	}
+}
+
+// WithWeightStep enables the escalating present-cost schedule: the price of
+// an over-capacity crossing rises by step every reroute pass (see
+// CongestionConfig.WeightStep).
+func WithWeightStep(step int64) Option {
+	return func(c *config) { c.congest.WeightStep = step }
+}
+
+// WithAdjustIters bounds the placement-adjustment feedback loop (default
+// 10 iterations).
+func WithAdjustIters(n int) Option {
+	return func(c *config) { c.adjustIters = n }
+}
+
+// WithProgress installs an observer that receives a Progress event after
+// every completed pass of the negotiation, ECO repair and whole-layout
+// routing flows. The observer runs inline on the routing goroutine — keep
+// it cheap.
+func WithProgress(fn ProgressFunc) Option {
+	return func(c *config) { c.progress = fn }
+}
+
+// WithTrace installs per-node search observers: onExpand receives every
+// expanded search point with its accumulated cost, onGenerate every newly
+// generated successor (either may be nil). This is the hook behind the
+// Figure 1 expansion traces; the callbacks run inline on the search hot
+// path.
+func WithTrace(onExpand, onGenerate func(Point, int64)) Option {
+	return func(c *config) {
+		if onExpand != nil {
+			c.opts.OnExpand = func(p geom.Point, g search.Cost) { onExpand(p, g) }
+		}
+		if onGenerate != nil {
+			c.opts.OnGenerate = func(p geom.Point, g search.Cost) { onGenerate(p, g) }
+		}
+	}
+}
+
+// Progress is one observation of engine activity, delivered to the
+// WithProgress observer after each completed pass.
+type Progress struct {
+	// Phase names the flow: "route" (RouteAll), "negotiate"
+	// (RouteNegotiated) or "eco" (Edit.Commit repair).
+	Phase string
+	// Pass is the 1-based pass number within the phase.
+	Pass int
+	// Overflow is the total passage overflow after the pass; Overflowed
+	// counts the passages over capacity.
+	Overflow, Overflowed int
+	// NetsRouted counts fully routed nets after the pass, out of NetsTotal.
+	NetsRouted, NetsTotal int
+	// Rerouted counts the nets ripped up and rerouted in the pass.
+	Rerouted int
+	// Expanded is the whole-layout search effort after the pass.
+	Expanded int
+	// Elapsed is the wall-clock time of the pass.
+	Elapsed time.Duration
+}
+
+// ProgressFunc observes engine progress (see WithProgress).
+type ProgressFunc func(Progress)
+
 // Router routes a validated layout.
+//
+// Deprecated: use Engine, which shares one prepared session across every
+// flow and adds context cancellation, progress observation and ECO
+// editing. Router remains as a thin compatibility facade.
 type Router struct {
 	l          *Layout
 	ix         *plane.Index
@@ -128,6 +264,8 @@ type Router struct {
 
 // NewRouter validates the layout (the paper's three placement restrictions
 // plus pin well-formedness) and builds a router over it.
+//
+// Deprecated: use NewEngine.
 func NewRouter(l *Layout, opts ...Option) (*Router, error) {
 	if err := l.Validate(); err != nil {
 		return nil, err
@@ -136,10 +274,7 @@ func NewRouter(l *Layout, opts ...Option) (*Router, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := config{}
-	for _, o := range opts {
-		o(&cfg)
-	}
+	cfg := newConfig(opts)
 	if cfg.cornerRule {
 		cfg.opts.Cost = router.CornerCost{Ix: ix}
 	}
@@ -260,6 +395,10 @@ type NegotiatedResult = congest.NegotiateResult
 // a present-plus-history penalty, and repeat until overflow reaches zero or
 // the pass budget runs out. Reroute passes parallelize across cfg.Workers
 // with results independent of the worker count.
+//
+// Deprecated: use Engine.RouteNegotiated, which reuses the session's
+// prepared index and tables, accepts a context and feeds the progress
+// observer. This wrapper rebuilds everything per call.
 func RouteNegotiated(l *Layout, cfg CongestionConfig) (*NegotiatedResult, error) {
 	return congest.Negotiate(l, cfg)
 }
@@ -269,6 +408,9 @@ func RouteNegotiated(l *Layout, cfg CongestionConfig) (*NegotiatedResult, error)
 // affected nets with a penalty of `weight` length units per congested
 // crossing. It is a thin wrapper over the two-pass, zero-history special
 // case of RouteNegotiated.
+//
+// Deprecated: use Engine.RouteNegotiated with WithMaxPasses(2) and
+// WithHistory(0, 0).
 func RouteWithCongestion(l *Layout, pitch, weight int64, workers int) (*CongestionResult, error) {
 	return congest.TwoPass(l, pitch, weight, workers)
 }
@@ -276,6 +418,9 @@ func RouteWithCongestion(l *Layout, pitch, weight int64, workers int) (*Congesti
 // AssignTracks runs the detailed-routing stage over a routed layout:
 // dynamic channel formation by net interference, then left-edge track
 // assignment. window is the interference proximity (0 for the default).
+//
+// Deprecated: use Engine.AssignTracks, which runs over the session's
+// current routing state.
 func AssignTracks(res *Result, window int64) *TrackResult {
 	return detail.Assign(res, detail.Options{Window: window})
 }
@@ -287,6 +432,9 @@ type LayerResult = detail.LayerAssignment
 // on one layer, vertical on the other) and counts the vias every layer
 // change requires — the "layer assignment" half of the paper's detailed
 // phase.
+//
+// Deprecated: use Engine.AssignLayers, which runs over the session's
+// current routing state.
 func AssignLayers(res *Result) *LayerResult {
 	return detail.AssignLayers(res)
 }
@@ -299,6 +447,9 @@ type AdjustResult = adjust.Result
 // by shifting cells apart (growing the die), and repeat until the routing
 // fits or the iteration budget runs out. The input layout is not modified;
 // the adjusted placement is returned in the result.
+//
+// Deprecated: use Engine.AdjustPlacement, which accepts a context and takes
+// its parameters from the unified option set.
 func AdjustPlacement(l *Layout, pitch int64, maxIters, workers int) (*AdjustResult, error) {
 	return adjust.Run(l, adjust.Options{Pitch: pitch, MaxIters: maxIters, Workers: workers})
 }

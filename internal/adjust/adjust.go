@@ -18,6 +18,7 @@
 package adjust
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/congest"
@@ -64,6 +65,15 @@ type Result struct {
 
 // Run executes the feedback loop on a clone of the layout.
 func Run(l *layout.Layout, opts Options) (*Result, error) {
+	return RunCtx(context.Background(), l, opts)
+}
+
+// RunCtx is Run with cooperative cancellation: the loop checks the context
+// between iterations and threads it through each full-layout route, so a
+// cancelled run returns the iterations completed so far (with the layout
+// and routing state of the last finished iteration) together with the
+// context's error.
+func RunCtx(ctx context.Context, l *layout.Layout, opts Options) (*Result, error) {
 	pitch := opts.Pitch
 	if pitch <= 0 {
 		pitch = 2
@@ -75,12 +85,18 @@ func Run(l *layout.Layout, opts Options) (*Result, error) {
 	cur := l.Clone()
 	res := &Result{}
 	for iter := 0; iter < maxIters; iter++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		ix, err := plane.FromLayout(cur)
 		if err != nil {
 			return nil, err
 		}
-		lr, err := router.New(ix, router.Options{}).RouteLayout(cur, opts.Workers)
+		lr, err := router.New(ix, router.Options{}).RouteLayoutCtx(ctx, cur, opts.Workers)
 		if err != nil {
+			if ctx.Err() != nil {
+				return res, err // partial: last finished iteration stands
+			}
 			return nil, err
 		}
 		passages, err := congest.Extract(ix, pitch)

@@ -20,6 +20,7 @@
 package congest
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -519,6 +520,18 @@ type Config struct {
 	// that a flat weight would never justify. Zero keeps the price flat
 	// (and with HistoryGain 0 lets the engine detect fixed points early).
 	WeightStep geom.Coord
+	// OnPass, when non-nil, observes every recorded pass as it completes:
+	// n is the 1-based pass number within the run. The hook runs inline on
+	// the negotiation goroutine — keep it cheap. It is the progress feed
+	// behind the public Engine's observer.
+	OnPass func(n int, p Pass)
+	// BaseOptions is the router configuration every pass routes with: the
+	// first (penalty-free) pass uses it as-is, and reroute passes layer
+	// the congestion penalty over BaseOptions.Cost. The zero value keeps
+	// the historical behavior (default options, plain length cost). This
+	// is how the public Engine threads its corner rule, successor mode,
+	// expansion budget and trace hooks through the congestion flows.
+	BaseOptions router.Options
 }
 
 // Pass summarizes one pass of the negotiated loop.
@@ -536,6 +549,8 @@ type Pass struct {
 	Rerouted []string
 	// TotalLength is the whole-layout wirelength after the pass.
 	TotalLength geom.Coord
+	// Routed counts nets fully routed (Found) after the pass.
+	Routed int
 	// Stats is the whole-layout search effort after the pass (carried-over
 	// nets keep their earlier effort, so passes are comparable).
 	Stats search.Stats
@@ -569,37 +584,185 @@ func (r *NegotiateResult) Final() *router.LayoutResult {
 // FinalMap returns the congestion map after the last pass.
 func (r *NegotiateResult) FinalMap() *Map { return r.Maps[len(r.Maps)-1] }
 
-func (r *NegotiateResult) record(lr *router.LayoutResult, m *Map, rerouted []string) {
-	r.Results = append(r.Results, lr)
-	r.Maps = append(r.Maps, m)
-	r.Passes = append(r.Passes, Pass{
-		Overflow:    m.TotalOverflow(),
-		Overflowed:  len(m.Overflowed()),
+// negotiator is the shared engine behind Negotiate and RepairCtx: a live
+// map, the routing state after the latest pass, one penalized router whose
+// cost closure reads the map/history/present-weight in place, and the
+// recorded result. It must be used through a pointer (the penalty closure
+// captures &presWeight).
+type negotiator struct {
+	l         *layout.Layout
+	cfg       Config
+	m         *Map
+	res       *NegotiateResult
+	cur       *router.LayoutResult
+	penalized *router.Router
+	// presWeight is the live present-overflow price; runPass escalates it
+	// per the WeightStep schedule and the penalty closure reads it through
+	// a pointer.
+	presWeight geom.Coord
+	// reroutePass counts completed reroute passes (the weight-schedule
+	// ordinal): reroute pass k prices an over-capacity crossing at
+	// Weight + k*WeightStep.
+	reroutePass int
+}
+
+// newNegotiator wires a negotiator over an existing live map. history, when
+// non-nil, seeds the per-passage overflow history (the ECO repair continues
+// the session's accumulated history); it is copied.
+func newNegotiator(l *layout.Layout, ix *plane.Index, cfg Config, m *Map, history []int) *negotiator {
+	ng := &negotiator{l: l, cfg: cfg, m: m, presWeight: cfg.Weight}
+	ng.res = &NegotiateResult{History: make([]int, len(m.Passages))}
+	copy(ng.res.History, history)
+	// One penalized router serves every reroute: the penalty closure reads
+	// the live map, the history slice, and the escalating present weight,
+	// all mutated in place as the loop runs. Each RouteNet call recycles
+	// the pooled search context, so the sequential loop allocates no
+	// per-net search state. The caller's base cost model (corner rule and
+	// friends) stays in effect underneath the congestion penalty.
+	opts := cfg.BaseOptions
+	opts.Cost = router.PenaltyCost{
+		Base:    cfg.BaseOptions.Cost,
+		Penalty: m.livePenalty(&ng.presWeight, cfg.HistoryWeight, cfg.HistoryGain, ng.res.History),
+	}
+	ng.penalized = router.New(ix, opts)
+	return ng
+}
+
+// record snapshots the current state as one pass and feeds the OnPass hook.
+func (ng *negotiator) record(rerouted []string) {
+	p := Pass{
+		Overflow:    ng.m.TotalOverflow(),
+		Overflowed:  len(ng.m.Overflowed()),
 		Rerouted:    rerouted,
-		TotalLength: lr.TotalLength,
-		Stats:       lr.Stats,
-		Elapsed:     lr.Elapsed,
-	})
+		TotalLength: ng.cur.TotalLength,
+		Routed:      len(ng.cur.Nets) - len(ng.cur.Failed),
+		Stats:       ng.cur.Stats,
+		Elapsed:     ng.cur.Elapsed,
+	}
+	ng.res.Results = append(ng.res.Results, ng.cur)
+	ng.res.Maps = append(ng.res.Maps, ng.m.Clone())
+	ng.res.Passes = append(ng.res.Passes, p)
+	if ng.cfg.OnPass != nil {
+		ng.cfg.OnPass(len(ng.res.Passes), p)
+	}
+}
+
+// runPass executes one sequential rip-up pass: every net in initial is
+// ripped out of the live map, rerouted against the live
+// present-plus-history penalty (livePenalty), and spliced back in — so
+// every net immediately sees the congestion state its predecessors left
+// behind, which is what keeps identically-priced nets from dodging
+// congestion in lockstep and oscillating. The pass then extends,
+// worklist-style, to nets its own reroutes pushed into overflow (each net
+// moves at most once per pass, so the loop terminates). changed reports
+// whether any route actually moved.
+//
+// On cancellation the pass stops between nets — a net interrupted
+// mid-search keeps its previous route and the map stays consistent with the
+// recorded routing state — the partial pass is recorded, and the context's
+// error is returned. Any other routing error aborts without recording.
+func (ng *negotiator) runPass(ctx context.Context, initial []int) (changed bool, err error) {
+	m := ng.m
+	// Accrue history for the passages overflowed at pass start; overflow
+	// still present when the run ends is folded in by the caller.
+	for _, pi := range m.Overflowed() {
+		ng.res.History[pi]++
+	}
+	// Present-cost schedule (see Config.WeightStep).
+	ng.presWeight = ng.cfg.Weight + ng.cfg.WeightStep*geom.Coord(ng.reroutePass)
+	ng.reroutePass++
+
+	start := time.Now()
+	next := &router.LayoutResult{Nets: append([]router.NetRoute(nil), ng.cur.Nets...)}
+	var rerouted []string
+	ripped := make([]bool, len(ng.l.Nets))
+	rip := func(ni int) error {
+		ripped[ni] = true
+		old := next.Nets[ni]
+		m.RemoveNet(ni, old.Segments)
+		nr, rerr := ng.penalized.RouteNetCtx(ctx, &ng.l.Nets[ni])
+		if rerr != nil {
+			// Splice the old route back so the map stays consistent with
+			// the routing state we are about to record.
+			m.AddNet(ni, old.Segments)
+			return rerr
+		}
+		m.AddNet(ni, nr.Segments)
+		if !sameRoute(&old, &nr) {
+			changed = true
+		}
+		next.Nets[ni] = nr
+		rerouted = append(rerouted, ng.l.Nets[ni].Name)
+		return nil
+	}
+	// Every net of the initial set gets ripped, in the given (ascending)
+	// order — even when an earlier rip-up already drained its passage. That
+	// is what lets a net with a free alternative vacate a tight corridor
+	// for a pinned neighbor; skipping "already drained" nets leaves the
+	// same low-indexed nets doing all the moving while the one net whose
+	// move would actually release capacity is never consulted.
+	for _, ni := range initial {
+		if err = ctx.Err(); err != nil {
+			break
+		}
+		if ripped[ni] {
+			continue
+		}
+		if err = rip(ni); err != nil {
+			break
+		}
+	}
+	// Then the worklist: rip the lowest-indexed net through any
+	// live-overflowed passage until none is left, so displacement chains
+	// resolve within one pass instead of leaking one link per pass.
+	for err == nil {
+		if err = ctx.Err(); err != nil {
+			break
+		}
+		ni := m.nextRipNet(ripped)
+		if ni < 0 {
+			break
+		}
+		err = rip(ni)
+	}
+	if err != nil && ctx.Err() == nil {
+		return changed, err // real routing failure: nothing recorded
+	}
+	next.Finalize(start)
+	ng.cur = next
+	ng.record(rerouted)
+	return changed, err
+}
+
+// finish folds still-present overflow into the history (runPass accrues
+// history before each reroute, so overflow left in the final map has not
+// been counted yet; a no-op when converged) and stamps Converged.
+func (ng *negotiator) finish() *NegotiateResult {
+	for _, pi := range ng.m.Overflowed() {
+		ng.res.History[pi]++
+	}
+	ng.res.Converged = ng.m.TotalOverflow() == 0
+	return ng.res
 }
 
 // Negotiate iterates the paper's congestion loop to convergence,
 // PathFinder-style. Pass 1 routes every net penalty-free (in parallel
 // across cfg.Workers) and measures passage overflow. Each later pass is a
-// sequential rip-up: the nets through overflowed passages are visited in
-// deterministic (ascending net index) order, and each in turn is ripped out
-// of the live map, rerouted against the live present-plus-history penalty
-// (livePenalty), and spliced back in — so every net immediately sees
-// the congestion state its predecessors left behind, which is what keeps
-// identically-priced nets from dodging congestion in lockstep and
-// oscillating. Every net through the pass-start overflow is ripped once
-// per pass — even one whose passage earlier rip-ups already drained, since
-// its move may be what releases capacity for a pinned neighbor — and the
-// pass then extends, worklist-style, to nets its own reroutes pushed into
-// overflow. The loop stops when overflow reaches zero (Converged), when
-// MaxPasses is exhausted, or when a pass changes nothing and — with
-// HistoryGain zero — no future pass could differ (Stalled). The rip-up
-// order is fixed, so results do not depend on the worker count.
+// sequential rip-up over the nets through overflowed passages, in
+// deterministic (ascending net index) order, extended worklist-style to
+// nets the pass's own reroutes pushed into overflow (see
+// negotiator.runPass). The loop stops when overflow reaches zero
+// (Converged), when MaxPasses is exhausted, or when a pass changes nothing
+// and — with HistoryGain zero — no future pass could differ (Stalled). The
+// rip-up order is fixed, so results do not depend on the worker count.
 func Negotiate(l *layout.Layout, cfg Config) (*NegotiateResult, error) {
+	return NegotiateCtx(context.Background(), l, cfg)
+}
+
+// NegotiateCtx is Negotiate with cooperative cancellation: on cancel the
+// passes completed so far — including a consistent partial final pass — are
+// returned together with the context's error.
+func NegotiateCtx(ctx context.Context, l *layout.Layout, cfg Config) (*NegotiateResult, error) {
 	ix, err := plane.FromLayout(l)
 	if err != nil {
 		return nil, err
@@ -608,111 +771,127 @@ func Negotiate(l *layout.Layout, cfg Config) (*NegotiateResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	return NegotiatePrepared(ctx, l, ix, passages, cfg)
+}
+
+// NegotiatePrepared is NegotiateCtx over a caller-prepared obstacle index
+// and passage set, so a session that already owns both (the public Engine)
+// does not rebuild them per run. passages must have been extracted from ix.
+func NegotiatePrepared(ctx context.Context, l *layout.Layout, ix *plane.Index, passages []Passage, cfg Config) (*NegotiateResult, error) {
 	maxPasses := cfg.MaxPasses
 	if maxPasses <= 0 {
 		maxPasses = DefaultMaxPasses
 	}
-
-	first, err := router.New(ix, router.Options{}).RouteLayout(l, cfg.Workers)
-	if err != nil {
+	first, err := router.New(ix, cfg.BaseOptions).RouteLayoutCtx(ctx, l, cfg.Workers)
+	if err != nil && ctx.Err() == nil {
 		return nil, err
 	}
-	res := &NegotiateResult{History: make([]int, len(passages))}
-	index := newSectionIndex(passages)
-	cur, m := first, buildMapWithIndex(passages, index, netSegs(first))
-	res.record(cur, m.Clone(), nil)
+	m := buildMapWithIndex(passages, newSectionIndex(passages), netSegs(first))
+	ng := newNegotiator(l, ix, cfg, m, nil)
+	ng.cur = first
+	ng.record(nil)
+	if err != nil {
+		return ng.finish(), err // cancelled during the first pass
+	}
 
-	// One penalized router serves every reroute: the penalty closure reads
-	// the live map, the history slice, and the escalating present weight,
-	// all mutated in place as the loop runs. Each RouteNet call recycles
-	// the pooled search context, so the sequential loop allocates no
-	// per-net search state.
-	presWeight := cfg.Weight
-	penalized := router.New(ix, router.Options{
-		Cost: router.PenaltyCost{
-			Penalty: m.livePenalty(&presWeight, cfg.HistoryWeight, cfg.HistoryGain, res.History),
-		},
-	})
-
-	for len(res.Passes) < maxPasses {
-		over := m.Overflowed()
-		if len(over) == 0 {
+	for len(ng.res.Passes) < maxPasses {
+		if err := ctx.Err(); err != nil {
+			return ng.finish(), err
+		}
+		if m.TotalOverflow() == 0 {
 			break
 		}
-		// Present-cost schedule (see Config.WeightStep); reroute pass k
-		// prices an over-capacity crossing at Weight + (k-1)*WeightStep.
-		presWeight = cfg.Weight + cfg.WeightStep*geom.Coord(len(res.Passes)-1)
-		for _, pi := range over {
-			res.History[pi]++
+		changed, err := ng.runPass(ctx, m.AffectedNets())
+		if err != nil {
+			if ctx.Err() != nil {
+				return ng.finish(), err
+			}
+			return nil, err
 		}
-		start := time.Now()
-		next := &router.LayoutResult{Nets: append([]router.NetRoute(nil), cur.Nets...)}
-		var rerouted []string
-		changed := false
-		ripped := make([]bool, len(l.Nets))
-		rip := func(ni int) error {
-			ripped[ni] = true
-			old := next.Nets[ni]
-			m.RemoveNet(ni, old.Segments)
-			nr, err := penalized.RouteNet(&l.Nets[ni])
-			if err != nil {
-				return err
-			}
-			m.AddNet(ni, nr.Segments)
-			if !sameRoute(&old, &nr) {
-				changed = true
-			}
-			next.Nets[ni] = nr
-			rerouted = append(rerouted, l.Nets[ni].Name)
-			return nil
-		}
-		// Every net through the pass-start overflow gets ripped, in
-		// ascending net order — even when an earlier rip-up already drained
-		// its passage. That is what lets a net with a free alternative
-		// vacate a tight corridor for a pinned neighbor; skipping
-		// "already drained" nets leaves the same low-indexed nets doing all
-		// the moving while the one net whose move would actually release
-		// capacity is never consulted.
-		for _, ni := range m.AffectedNets() {
-			if err := rip(ni); err != nil {
-				return nil, err
-			}
-		}
-		// Then the pass continues as a worklist: reroutes above may have
-		// pushed fresh passages over capacity, so rip the lowest-indexed
-		// net through any live-overflowed passage until none is left. Each
-		// net moves at most once per pass, so the loop terminates;
-		// displacement chains resolve within one pass instead of leaking
-		// one link per pass.
-		for {
-			ni := m.nextRipNet(ripped)
-			if ni < 0 {
-				break
-			}
-			if err := rip(ni); err != nil {
-				return nil, err
-			}
-		}
-		next.Finalize(start)
-		cur = next
-		res.record(cur, m.Clone(), rerouted)
 		if !changed && cfg.HistoryGain <= 0 && cfg.WeightStep <= 0 {
 			// Fixed point: the same penalties would reproduce the same
 			// routes forever. With history or a weight schedule the
 			// penalty keeps growing, so an unchanged pass is not final and
 			// the loop continues.
-			res.Stalled = true
+			ng.res.Stalled = true
 			break
 		}
 	}
-	// The loop accrues history before each reroute, so overflow left in
-	// the final map has not been counted yet; fold it in so History means
-	// what it says on every exit path (a no-op when converged).
-	for _, pi := range m.Overflowed() {
-		res.History[pi]++
+	return ng.finish(), nil
+}
+
+// RepairCtx is the incremental (ECO) entry point: instead of routing the
+// whole layout from scratch it reroutes only the dirty nets of an
+// already-routed layout against the live map, then drains any overflow the
+// edit (or the reroutes) created, with the same sequential rip-up passes as
+// Negotiate.
+//
+// l, ix and passages describe the edited layout (passages extracted from
+// ix). cur must hold one NetRoute per net of l, in layout order — empty
+// not-Found entries for nets that have never been routed — and m must be
+// consistent with cur: exactly the segments of every route counted.
+// history, when non-nil, seeds the per-passage overflow history so an
+// editing session keeps its accumulated pressure (pass nil after edits that
+// changed the passage set). dirty lists the net indices that must be
+// rerouted; duplicates are ignored.
+//
+// The first recorded pass rips the dirty nets in ascending index order and
+// extends worklist-style to every net in an overflowed passage — the
+// "newly-overflowed victims" of the edit. Later passes run exactly like
+// Negotiate's. Unlike Negotiate there is no initial full-route pass, which
+// is the point: untouched nets keep their routes byte-identical.
+//
+// m is mutated in place and cur is taken over; on return (including
+// cancellation) the final recorded state, m, and the returned History are
+// mutually consistent.
+func RepairCtx(ctx context.Context, l *layout.Layout, ix *plane.Index, passages []Passage, m *Map, cur *router.LayoutResult, dirty []int, cfg Config, history []int) (*NegotiateResult, error) {
+	if len(cur.Nets) != len(l.Nets) {
+		return nil, fmt.Errorf("congest: repair state has %d nets, layout %d", len(cur.Nets), len(l.Nets))
 	}
-	res.Converged = m.TotalOverflow() == 0
-	return res, nil
+	for _, ni := range dirty {
+		if ni < 0 || ni >= len(l.Nets) {
+			return nil, fmt.Errorf("congest: dirty net index %d out of range [0,%d)", ni, len(l.Nets))
+		}
+	}
+	maxPasses := cfg.MaxPasses
+	if maxPasses <= 0 {
+		maxPasses = DefaultMaxPasses
+	}
+	work := append([]int(nil), dirty...)
+	sort.Ints(work)
+	ng := newNegotiator(l, ix, cfg, m, history)
+	ng.cur = cur
+	if len(work) == 0 && m.TotalOverflow() == 0 {
+		return ng.finish(), nil // nothing to repair
+	}
+	for len(ng.res.Passes) < maxPasses {
+		if err := ctx.Err(); err != nil {
+			return ng.finish(), err
+		}
+		var initial []int
+		if len(ng.res.Passes) == 0 {
+			initial = work // first pass: the edit's dirty set seeds the rip order
+		} else if m.TotalOverflow() == 0 {
+			break
+		} else {
+			initial = m.AffectedNets()
+		}
+		changed, err := ng.runPass(ctx, initial)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ng.finish(), err
+			}
+			return nil, err
+		}
+		if !changed && cfg.HistoryGain <= 0 && cfg.WeightStep <= 0 {
+			// An unchanged pass is a fixed point; it only counts as a
+			// stall when overflow is actually left (a clean first repair
+			// pass that reproduced a dirty net's route is just done).
+			ng.res.Stalled = m.TotalOverflow() > 0
+			break
+		}
+	}
+	return ng.finish(), nil
 }
 
 // sameRoute reports whether two routes of the same net have identical

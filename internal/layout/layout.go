@@ -158,6 +158,81 @@ func (l *Layout) TwoPin() bool {
 	return true
 }
 
+// cellGeom is the memoized per-cell geometry a Validate call shares across
+// every check that touches the cell: the polygon outline, its vertical-slab
+// decomposition (strict containment), and the obstacle rectangles
+// (separation). Before this cache, every pin containment test re-decomposed
+// the cell from scratch, making validation O(cells × nets) decompositions —
+// the dominant setup cost on 64×64 macro grids. Rectangular cells bypass
+// the polygon machinery entirely.
+type cellGeom struct {
+	cell   *Cell
+	isRect bool
+	poly   polygon.Poly // outline ring; only used when !isRect
+	decomp []geom.Rect  // lazily built vertical decomposition (!isRect)
+	obst   []geom.Rect  // lazily built obstacle rectangles
+}
+
+// cellGeoms builds the per-cell cache for one validation pass.
+func (l *Layout) cellGeoms() []cellGeom {
+	geos := make([]cellGeom, len(l.Cells))
+	for i := range l.Cells {
+		c := &l.Cells[i]
+		geos[i] = cellGeom{cell: c, isRect: len(c.Poly) == 0}
+		if !geos[i].isRect {
+			geos[i].poly = c.Polygon()
+		}
+	}
+	return geos
+}
+
+// onBoundary reports whether p lies on the cell outline; identical to
+// Cell.Polygon().OnBoundary without constructing a ring for rectangles.
+func (g *cellGeom) onBoundary(p geom.Point) bool {
+	if g.isRect {
+		b := g.cell.Box
+		onV := (p.X == b.MinX || p.X == b.MaxX) && b.MinY <= p.Y && p.Y <= b.MaxY
+		onH := (p.Y == b.MinY || p.Y == b.MaxY) && b.MinX <= p.X && p.X <= b.MaxX
+		return onV || onH
+	}
+	return g.poly.OnBoundary(p)
+}
+
+// containsStrict reports whether p lies strictly inside the cell; identical
+// to Cell.Polygon().ContainsStrict with the decomposition memoized and a
+// bounding-box prefilter. The prefilter is exact: a point not strictly
+// inside the bounding box is either outside the outline or on it (the
+// outline's extreme edges lie on the box), never strictly interior.
+func (g *cellGeom) containsStrict(p geom.Point) bool {
+	b := g.cell.Box
+	if p.X <= b.MinX || p.X >= b.MaxX || p.Y <= b.MinY || p.Y >= b.MaxY {
+		return false
+	}
+	if g.isRect {
+		return true // strictly inside the box is strictly inside the cell
+	}
+	if g.poly.OnBoundary(p) {
+		return false
+	}
+	if g.decomp == nil {
+		g.decomp = g.poly.DecomposeVertical()
+	}
+	for _, r := range g.decomp {
+		if r.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// obstacles returns the memoized obstacle rectangles.
+func (g *cellGeom) obstacles() []geom.Rect {
+	if g.obst == nil {
+		g.obst = g.cell.ObstacleRects()
+	}
+	return g.obst
+}
+
 // Validate checks the paper's placement restrictions and basic
 // well-formedness. It returns the first violation found, or nil.
 func (l *Layout) Validate() error {
@@ -193,16 +268,22 @@ func (l *Layout) Validate() error {
 			return fmt.Errorf("cell %q: box %v outside bounds %v", c.Name, c.Box, l.Bounds)
 		}
 	}
+	// The cache must be built after the loop above so bare-polygon cells
+	// have their bounding boxes filled in.
+	geos := l.cellGeoms()
 	// Restriction 3: finite, non-zero inter-cell distance. Touching
 	// boundaries leave no room for wire and are rejected. The check is
 	// exact for polygon cells (their decomposed rectangles), so two
 	// interlocking L-shapes with a positive gap are legal even when their
-	// bounding boxes overlap.
+	// bounding boxes overlap. Disjoint bounding boxes cannot intersect, so
+	// the decompositions are only consulted when the boxes actually touch.
 	for i := range l.Cells {
-		ri := l.Cells[i].ObstacleRects()
 		for j := i + 1; j < len(l.Cells); j++ {
-			for _, a := range ri {
-				for _, b := range l.Cells[j].ObstacleRects() {
+			if !l.Cells[i].Box.Intersects(l.Cells[j].Box) {
+				continue
+			}
+			for _, a := range geos[i].obstacles() {
+				for _, b := range geos[j].obstacles() {
 					if a.Intersects(b) {
 						return fmt.Errorf("cells %q and %q touch or overlap; the paper requires non-zero separation",
 							l.Cells[i].Name, l.Cells[j].Name)
@@ -230,7 +311,7 @@ func (l *Layout) Validate() error {
 				return fmt.Errorf("net %q terminal %q: has no pins", n.Name, t.Name)
 			}
 			for _, p := range t.Pins {
-				if err := l.validatePin(n, t, p); err != nil {
+				if err := l.validatePin(n, t, p, geos); err != nil {
 					return err
 				}
 			}
@@ -239,8 +320,9 @@ func (l *Layout) Validate() error {
 	return nil
 }
 
-// validatePin checks a single pin's placement.
-func (l *Layout) validatePin(n *Net, t *Terminal, p Pin) error {
+// validatePin checks a single pin's placement against the memoized cell
+// geometry.
+func (l *Layout) validatePin(n *Net, t *Terminal, p Pin, geos []cellGeom) error {
 	if !l.Bounds.Contains(p.Pos) {
 		return fmt.Errorf("net %q terminal %q pin %q: %v outside bounds %v",
 			n.Name, t.Name, p.Name, p.Pos, l.Bounds)
@@ -250,18 +332,18 @@ func (l *Layout) validatePin(n *Net, t *Terminal, p Pin) error {
 			return fmt.Errorf("net %q terminal %q pin %q: cell id %d out of range",
 				n.Name, t.Name, p.Name, p.Cell)
 		}
-		if !l.Cells[p.Cell].Polygon().OnBoundary(p.Pos) {
+		if !geos[p.Cell].onBoundary(p.Pos) {
 			return fmt.Errorf("net %q terminal %q pin %q: %v must lie on the boundary of cell %q",
 				n.Name, t.Name, p.Name, p.Pos, l.Cells[p.Cell].Name)
 		}
 	}
 	// No pin may sit strictly inside any cell: the router could never
 	// reach it.
-	for i := range l.Cells {
+	for i := range geos {
 		if CellID(i) == p.Cell {
 			continue
 		}
-		if l.Cells[i].Polygon().ContainsStrict(p.Pos) {
+		if geos[i].containsStrict(p.Pos) {
 			return fmt.Errorf("net %q terminal %q pin %q: %v strictly inside cell %q",
 				n.Name, t.Name, p.Name, p.Pos, l.Cells[i].Name)
 		}
@@ -277,12 +359,13 @@ func (l *Layout) MinSeparation() geom.Coord {
 	if len(l.Cells) < 2 {
 		return -1
 	}
+	geos := l.cellGeoms()
 	min := geom.Coord(-1)
 	for i := range l.Cells {
-		ri := l.Cells[i].ObstacleRects()
+		ri := geos[i].obstacles()
 		for j := i + 1; j < len(l.Cells); j++ {
 			for _, a := range ri {
-				for _, b := range l.Cells[j].ObstacleRects() {
+				for _, b := range geos[j].obstacles() {
 					d := rectGap(a, b)
 					if min < 0 || d < min {
 						min = d

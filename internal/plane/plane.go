@@ -72,11 +72,27 @@ func New(bounds geom.Rect, cells []geom.Rect) (*Index, error) {
 // double decomposition, so obstacle indices do not correspond one-to-one
 // with layout cell ids when polygons are present.
 func FromLayout(l *layout.Layout) (*Index, error) {
+	ix, _, err := FromLayoutSpans(l)
+	return ix, err
+}
+
+// FromLayoutSpans is FromLayout returning, additionally, the half-open
+// obstacle-id range [spans[i][0], spans[i][1]) each layout cell contributed.
+// The ECO layer uses the mapping to splice a moved cell's obstacles out of
+// the index without rebuilding it from scratch (see Edit).
+func FromLayoutSpans(l *layout.Layout) (*Index, [][2]int, error) {
 	var rects []geom.Rect
+	spans := make([][2]int, len(l.Cells))
 	for i := range l.Cells {
+		start := len(rects)
 		rects = append(rects, l.Cells[i].ObstacleRects()...)
+		spans[i] = [2]int{start, len(rects)}
 	}
-	return New(l.Bounds, rects)
+	ix, err := New(l.Bounds, rects)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ix, spans, nil
 }
 
 // Overlay returns a new index containing the receiver's obstacles plus the
@@ -101,6 +117,63 @@ func (ix *Index) Overlay(extra []geom.Rect) (*Index, error) {
 	sub.buildCorners(n, len(out.cells))
 	out.cornersX = mergeCorners(ix.cornersX, sub.cornersX)
 	out.cornersY = mergeCorners(ix.cornersY, sub.cornersY)
+	out.xtree = buildIntervalTree(xSpans(out.cells), out.cornersX)
+	out.ytree = buildIntervalTree(ySpans(out.cells), out.cornersY)
+	return out, nil
+}
+
+// Edit returns a new index with the obstacles listed in removed deleted and
+// the extra rectangles appended; the receiver is unchanged. Surviving
+// obstacles keep their relative order but are renumbered compactly, with
+// the added rectangles taking the ids after them — callers that track
+// obstacle ids (the ECO layer's per-cell spans) must re-derive them from
+// the returned ordering. Like Overlay, the corner tables are not re-sorted:
+// the survivors are filtered out of the receiver's sorted tables (a
+// monotone renumbering preserves the (At, Cell) order) and merged with
+// freshly sorted tables of the additions, so an edit costs
+// O(n + m log m) table work plus the interval-tree rebuild.
+func (ix *Index) Edit(removed []int, added []geom.Rect) (*Index, error) {
+	if len(removed) == 0 {
+		return ix.Overlay(added)
+	}
+	drop := make([]bool, len(ix.cells))
+	for _, id := range removed {
+		if id < 0 || id >= len(ix.cells) {
+			return nil, fmt.Errorf("plane: removed obstacle %d out of range [0,%d)", id, len(ix.cells))
+		}
+		drop[id] = true
+	}
+	out := &Index{bounds: ix.bounds}
+	remap := make([]int32, len(ix.cells))
+	out.cells = make([]geom.Rect, 0, len(ix.cells)-len(removed)+len(added))
+	for i, c := range ix.cells {
+		if drop[i] {
+			remap[i] = -1
+			continue
+		}
+		remap[i] = int32(len(out.cells))
+		out.cells = append(out.cells, c)
+	}
+	base := len(out.cells)
+	out.cells = append(out.cells, added...)
+	for i := base; i < len(out.cells); i++ {
+		if c := out.cells[i]; !c.IsValid() || c.Width() <= 0 || c.Height() <= 0 {
+			return nil, fmt.Errorf("plane: obstacle %d %v must have positive area", i-base, c)
+		}
+	}
+	filter := func(tab []Corner) []Corner {
+		kept := make([]Corner, 0, 2*base)
+		for _, c := range tab {
+			if r := remap[c.Cell]; r >= 0 {
+				kept = append(kept, Corner{At: c.At, Cell: r})
+			}
+		}
+		return kept
+	}
+	sub := &Index{cells: out.cells} // ids base.. index the combined slice
+	sub.buildCorners(base, len(out.cells))
+	out.cornersX = mergeCorners(filter(ix.cornersX), sub.cornersX)
+	out.cornersY = mergeCorners(filter(ix.cornersY), sub.cornersY)
 	out.xtree = buildIntervalTree(xSpans(out.cells), out.cornersX)
 	out.ytree = buildIntervalTree(ySpans(out.cells), out.cornersY)
 	return out, nil

@@ -1,0 +1,136 @@
+package router
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/plane"
+	"repro/internal/search"
+)
+
+// cancelScene is a macro grid big enough that whole-layout routing takes
+// long enough to cancel mid-flight deterministically via an
+// already-expired deadline or an early cancel.
+func cancelScene(t testing.TB) (*layout.Layout, *plane.Index) {
+	t.Helper()
+	l, err := gen.MacroGrid(6, 6, 40, 30, 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := plane.FromLayout(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, ix
+}
+
+func TestRouteLayoutCtxPreCancelled(t *testing.T) {
+	l, ix := cancelScene(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		res, err := New(ix, Options{}).RouteLayoutCtx(ctx, l, workers)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if res == nil {
+			t.Fatalf("workers=%d: cancelled run must return the partial result", workers)
+		}
+		if len(res.Nets) != len(l.Nets) {
+			t.Fatalf("workers=%d: partial result has %d net slots, want %d", workers, len(res.Nets), len(l.Nets))
+		}
+		// Every slot must be well-formed: named after its net, not Found.
+		for i := range res.Nets {
+			if res.Nets[i].Net != l.Nets[i].Name {
+				t.Fatalf("workers=%d: slot %d named %q, want %q", workers, i, res.Nets[i].Net, l.Nets[i].Name)
+			}
+			if res.Nets[i].Found {
+				t.Fatalf("workers=%d: net %q routed under a pre-cancelled context", workers, res.Nets[i].Net)
+			}
+		}
+	}
+}
+
+func TestRouteLayoutCtxCancelMidRun(t *testing.T) {
+	l, ix := cancelScene(t)
+	full, err := New(ix, Options{}).RouteLayout(l, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cancel deterministically from inside the search: the expansion hook
+	// fires mid-run, long before the layout completes, so some nets finish
+	// and the rest stay cleanly not-Found.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var expansions atomic.Int64
+	r := New(ix, Options{OnExpand: func(geom.Point, search.Cost) {
+		if expansions.Add(1) == int64(full.Stats.Expanded)/4 {
+			cancel()
+		}
+	}})
+	res, err := r.RouteLayoutCtx(ctx, l, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	routed := 0
+	for i := range res.Nets {
+		if res.Nets[i].Net != l.Nets[i].Name {
+			t.Fatalf("slot %d named %q, want %q", i, res.Nets[i].Net, l.Nets[i].Name)
+		}
+		if res.Nets[i].Found {
+			// Completed nets must equal the uncancelled run's routes: the
+			// nets are independent, so a partial result is a prefix in
+			// content, not an approximation.
+			if got, want := res.Nets[i].Length, full.Nets[i].Length; got != want {
+				t.Fatalf("net %q: partial length %d != full %d", res.Nets[i].Net, got, want)
+			}
+			routed++
+		}
+	}
+	t.Logf("cancelled after %d/%d nets", routed, len(l.Nets))
+}
+
+func TestRouteNetCtxCancelled(t *testing.T) {
+	l, ix := cancelScene(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	nr, err := New(ix, Options{}).RouteNetCtx(ctx, &l.Nets[0])
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if nr.Found {
+		t.Fatal("cancelled net reported Found")
+	}
+}
+
+func TestRouteLayoutCtxNoGoroutineLeak(t *testing.T) {
+	l, ix := cancelScene(t)
+	r := New(ix, Options{})
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+		_, _ = r.RouteLayoutCtx(ctx, l, 8)
+		cancel()
+	}
+	// The worker pool joins before RouteLayoutCtx returns; give the runtime
+	// a moment to retire exiting goroutines, then compare.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 || time.Now().After(deadline) {
+			if n > before+2 {
+				t.Fatalf("goroutines leaked: %d before, %d after", before, n)
+			}
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

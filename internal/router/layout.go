@@ -1,6 +1,7 @@
 package router
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -55,17 +56,27 @@ func (res *LayoutResult) Finalize(start time.Time) {
 // workers > 1 enables that, workers <= 0 uses GOMAXPROCS, and workers == 1
 // routes sequentially (used by benchmarks that time single-net work).
 func (r *Router) RouteLayout(l *layout.Layout, workers int) (*LayoutResult, error) {
+	return r.RouteLayoutCtx(context.Background(), l, workers)
+}
+
+// RouteLayoutCtx is RouteLayout with cooperative cancellation. When ctx is
+// cancelled mid-run the partial result — every net either fully routed or
+// still marked not-Found under its own name — is returned together with the
+// context's error, so callers can report what completed. Any other routing
+// error returns (nil, err) exactly as RouteLayout does.
+func (r *Router) RouteLayoutCtx(ctx context.Context, l *layout.Layout, workers int) (*LayoutResult, error) {
 	start := time.Now()
 	res := &LayoutResult{Nets: make([]NetRoute, len(l.Nets))}
 	nets := make([]int, len(l.Nets))
 	for i := range nets {
 		nets[i] = i
 	}
-	if err := r.routeInto(l, nets, workers, res.Nets); err != nil {
+	err := r.routeInto(ctx, l, nets, workers, res.Nets)
+	if err != nil && ctx.Err() == nil {
 		return nil, err
 	}
 	res.Finalize(start)
-	return res, nil
+	return res, err
 }
 
 // RouteNets routes only the given net indices, returning one NetRoute per
@@ -74,29 +85,45 @@ func (r *Router) RouteLayout(l *layout.Layout, workers int) (*LayoutResult, erro
 // Because each net is routed independently against the cells only, the
 // result is identical for any worker count.
 func (r *Router) RouteNets(l *layout.Layout, nets []int, workers int) ([]NetRoute, error) {
+	return r.RouteNetsCtx(context.Background(), l, nets, workers)
+}
+
+// RouteNetsCtx is RouteNets with cooperative cancellation; on cancel the
+// partial slice (unrouted entries not-Found under their net's name) is
+// returned with the context's error.
+func (r *Router) RouteNetsCtx(ctx context.Context, l *layout.Layout, nets []int, workers int) ([]NetRoute, error) {
 	for _, ni := range nets {
 		if ni < 0 || ni >= len(l.Nets) {
 			return nil, fmt.Errorf("router: net index %d out of range [0,%d)", ni, len(l.Nets))
 		}
 	}
 	out := make([]NetRoute, len(nets))
-	if err := r.routeInto(l, nets, workers, out); err != nil {
+	err := r.routeInto(ctx, l, nets, workers, out)
+	if err != nil && ctx.Err() == nil {
 		return nil, err
 	}
-	return out, nil
+	return out, err
 }
 
 // routeInto routes l.Nets[nets[k]] into out[k] for every k, sequentially for
-// workers == 1 and over a worker pool otherwise. On error the pool drains
-// promptly: the producer stops enqueuing and workers skip remaining jobs, so
-// no route is silently left zero-valued behind a reported success.
-func (r *Router) routeInto(l *layout.Layout, nets []int, workers int, out []NetRoute) error {
+// workers == 1 and over a worker pool otherwise. Every slot is prefilled
+// with its net's name so a cancelled run leaves well-formed not-Found
+// entries rather than zero values. On error the pool drains promptly: the
+// producer stops enqueuing and workers skip remaining jobs, so no route is
+// silently left zero-valued behind a reported success.
+func (r *Router) routeInto(ctx context.Context, l *layout.Layout, nets []int, workers int, out []NetRoute) error {
+	for k, ni := range nets {
+		out[k] = NetRoute{Net: l.Nets[ni].Name}
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers == 1 || len(nets) <= 1 {
 		for k, ni := range nets {
-			nr, err := r.RouteNet(&l.Nets[ni])
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			nr, err := r.RouteNetCtx(ctx, &l.Nets[ni])
 			if err != nil {
 				return err
 			}
@@ -120,10 +147,10 @@ func (r *Router) routeInto(l *layout.Layout, nets []int, workers int, out []NetR
 		go func() {
 			defer wg.Done()
 			for k := range jobs {
-				if failed() {
+				if failed() || ctx.Err() != nil {
 					continue // drain without routing once any worker erred
 				}
-				nr, err := r.RouteNet(&l.Nets[nets[k]])
+				nr, err := r.RouteNetCtx(ctx, &l.Nets[nets[k]])
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -137,7 +164,7 @@ func (r *Router) routeInto(l *layout.Layout, nets []int, workers int, out []NetR
 		}()
 	}
 	for k := range nets {
-		if failed() {
+		if failed() || ctx.Err() != nil {
 			break // stop enqueuing: the result is already doomed
 		}
 		jobs <- k
@@ -147,5 +174,5 @@ func (r *Router) routeInto(l *layout.Layout, nets []int, workers int, out []NetR
 	if firstErr != nil {
 		return firstErr
 	}
-	return nil
+	return ctx.Err()
 }

@@ -19,6 +19,7 @@
 package router
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -112,7 +113,13 @@ var searchCtxPool = sync.Pool{
 
 // RoutePoints finds a minimal-cost route between two points.
 func (r *Router) RoutePoints(from, to geom.Point) (Route, error) {
-	return r.RouteConnection([]geom.Point{from}, []geom.Point{to}, nil)
+	return r.RoutePointsCtx(context.Background(), from, to)
+}
+
+// RoutePointsCtx is RoutePoints with cooperative cancellation: when ctx is
+// cancelled the search aborts promptly and the context's error is returned.
+func (r *Router) RoutePointsCtx(ctx context.Context, from, to geom.Point) (Route, error) {
+	return r.RouteConnectionCtx(ctx, []geom.Point{from}, []geom.Point{to}, nil)
 }
 
 // validEndpoint checks one query endpoint.
@@ -130,17 +137,38 @@ func (r *Router) validEndpoint(p geom.Point) error {
 // nearest (by cost) part of the target set. Target segments admit
 // mid-segment attachment, which is what the Steiner construction needs.
 func (r *Router) RouteConnection(sources, targetPts []geom.Point, targetSegs []geom.Seg) (Route, error) {
-	ts := &targetSet{points: targetPts, segs: targetSegs}
-	return r.routeConnection(sources, ts, 0)
+	return r.RouteConnectionCtx(context.Background(), sources, targetPts, targetSegs)
 }
 
-// routeConnection is RouteConnection with an optional cost ceiling (0 = no
-// ceiling): a search that provably cannot produce a route costing at most
-// maxCost aborts early and reports not-found. RouteNet's greedy candidate
-// loop supplies the best attachment cost found so far as the ceiling, and
-// shares one target set across candidates so the target index and the
-// endpoint validation are paid once per round, not once per candidate.
-func (r *Router) routeConnection(sources []geom.Point, targets *targetSet, maxCost search.Cost) (Route, error) {
+// RouteConnectionCtx is RouteConnection with cooperative cancellation.
+func (r *Router) RouteConnectionCtx(ctx context.Context, sources, targetPts []geom.Point, targetSegs []geom.Seg) (Route, error) {
+	ts := &targetSet{points: targetPts, segs: targetSegs}
+	route, err := r.routeConnection(ctx.Done(), sources, ts, 0)
+	return route, ctxError(ctx, err)
+}
+
+// ctxError rewrites the search package's cancellation sentinel into the
+// context's own error, so callers can match context.Canceled or
+// context.DeadlineExceeded with errors.Is. Other errors pass through.
+func ctxError(ctx context.Context, err error) error {
+	if errors.Is(err, search.ErrCancelled) {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+	}
+	return err
+}
+
+// routeConnection is the connection search core with an optional cost
+// ceiling (0 = no ceiling): a search that provably cannot produce a route
+// costing at most maxCost aborts early and reports not-found. RouteNet's
+// greedy candidate loop supplies the best attachment cost found so far as
+// the ceiling, and shares one target set across candidates so the target
+// index and the endpoint validation are paid once per round, not once per
+// candidate. done, when non-nil, cancels the search cooperatively; the
+// abort surfaces as search.ErrCancelled (callers with a context rewrite it
+// via ctxError).
+func (r *Router) routeConnection(done <-chan struct{}, sources []geom.Point, targets *targetSet, maxCost search.Cost) (Route, error) {
 	if len(sources) == 0 || (len(targets.points) == 0 && len(targets.segs) == 0) {
 		return Route{}, fmt.Errorf("router: empty source or target set")
 	}
@@ -176,10 +204,11 @@ func (r *Router) routeConnection(sources []geom.Point, targets *targetSet, maxCo
 		WeightNum:     r.opts.WeightNum,
 		WeightDen:     r.opts.WeightDen,
 		MaxCost:       maxCost,
+		Done:          done,
 	})
 	searchCtxPool.Put(sctx)
 	if err != nil && !errors.Is(err, search.ErrBudget) {
-		return Route{}, err
+		return Route{Stats: res.Stats}, err
 	}
 	out := Route{Stats: res.Stats}
 	if !res.Found {
@@ -240,6 +269,14 @@ var netScratchPool = sync.Pool{New: func() any { return &netScratch{} }}
 // potential connection point, and every pin of a multi-pin terminal joins
 // the connected set when its terminal connects.
 func (r *Router) RouteNet(net *layout.Net) (NetRoute, error) {
+	return r.RouteNetCtx(context.Background(), net)
+}
+
+// RouteNetCtx is RouteNet with cooperative cancellation: when ctx is
+// cancelled mid-construction the partial tree (Found false) is returned
+// together with the context's error.
+func (r *Router) RouteNetCtx(ctx context.Context, net *layout.Net) (NetRoute, error) {
+	done := ctx.Done()
 	out := NetRoute{Net: net.Name}
 	if len(net.Terminals) < 2 {
 		return out, fmt.Errorf("router: net %q needs at least two terminals", net.Name)
@@ -304,7 +341,10 @@ func (r *Router) RouteNet(net *layout.Net) (NetRoute, error) {
 			if best.idx >= 0 && r.opts.WeightNum == 0 && best.route.Cost > 1 {
 				bound = best.route.Cost - 1
 			}
-			route, err := r.routeConnection(pins[ti], ts, bound)
+			route, err := r.routeConnection(done, pins[ti], ts, bound)
+			if errors.Is(err, search.ErrCancelled) {
+				return out, ctxError(ctx, err) // cancelled: partial tree, no wrapping
+			}
 			if err != nil {
 				return out, fmt.Errorf("net %q terminal %q: %w", net.Name, net.Terminals[ti].Name, err)
 			}

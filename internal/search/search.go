@@ -90,7 +90,18 @@ type Options struct {
 	// that cannot beat the best attachment found so far. Ignored by the
 	// blind strategies.
 	MaxCost Cost
+	// Done, when non-nil, cancels the search cooperatively: the expansion
+	// loop polls the channel every cancelPollMask+1 expansions and aborts
+	// with ErrCancelled once it is closed. The router threads a
+	// context.Context's Done channel through here, which keeps this
+	// package free of the context dependency.
+	Done <-chan struct{}
 }
+
+// cancelPollMask sets how often the expansion loops poll Options.Done: every
+// 64 expansions, so cancellation latency is bounded while the per-expansion
+// overhead stays one mask test on the hot path.
+const cancelPollMask = 63
 
 // Tracer observes a search for visualization and debugging (the Figure 1
 // expansion traces). Implementations must be cheap; they run inline.
@@ -160,6 +171,23 @@ var ErrBudget = errors.New("search: expansion budget exhausted")
 // ErrNegativeEdge is returned when a successor is emitted with a negative
 // edge cost, which would break the termination argument.
 var ErrNegativeEdge = errors.New("search: negative edge cost")
+
+// ErrCancelled is returned when Options.Done closes before a goal is
+// reached. The partial Stats describe the work performed up to the abort.
+var ErrCancelled = errors.New("search: cancelled")
+
+// cancelled polls the optional Done channel; it never blocks.
+func cancelled(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
 
 // node is the bookkeeping record for a state on OPEN or CLOSED. Nodes live
 // in a Context's slab arena and refer to each other by index, so a whole
@@ -421,6 +449,10 @@ func findOrdered[S comparable](ctx *Context[S], p Problem[S], opts Options) (Res
 	}
 
 	for len(ctx.open) > 0 {
+		if stats.Expanded&cancelPollMask == 0 && cancelled(opts.Done) {
+			res.Stats = stats
+			return res, ErrCancelled
+		}
 		if len(ctx.open) > stats.MaxOpen {
 			stats.MaxOpen = len(ctx.open)
 		}
@@ -521,6 +553,10 @@ func findBlind[S comparable](ctx *Context[S], p Problem[S], opts Options) (Resul
 	// In blind search the goal test happens at generation time for BFS
 	// (first path found is fewest-edges) and at expansion time for DFS.
 	for head < len(ctx.open) {
+		if stats.Expanded&cancelPollMask == 0 && cancelled(opts.Done) {
+			res.Stats = stats
+			return res, ErrCancelled
+		}
 		if live := len(ctx.open) - head; live > stats.MaxOpen {
 			stats.MaxOpen = live
 		}
