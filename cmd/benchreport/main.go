@@ -15,9 +15,14 @@
 // ignored, so raw `go test` output can be piped straight in.
 //
 // -require (repeatable) asserts that a named benchmark's custom metric has
-// an exact value; any violated requirement fails the run with a non-zero
-// exit, which is how CI gates on "MacroGrid16 negotiation must reach zero
-// overflow" without a separate harness.
+// an exact value (=) or sits inside a bound (<=, >=); any violated
+// requirement fails the run with a non-zero exit, which is how CI gates on
+// "MacroGrid16 negotiation must reach zero overflow" and "the 64×64
+// extraction sweep must stay under its time budget" without a separate
+// harness:
+//
+//	go run ./cmd/benchreport -in bench.txt \
+//	    -require 'BenchmarkExtract/Sweep64:extract-ms<=500'
 package main
 
 import (
@@ -60,7 +65,7 @@ func main() {
 		ind      = flag.Bool("indent", true, "indent the JSON")
 		requires requireList
 	)
-	flag.Var(&requires, "require", "assert 'BenchmarkName:metric=value' (repeatable); violations exit non-zero")
+	flag.Var(&requires, "require", "assert 'BenchmarkName:metric=value' (also <=, >=; repeatable); violations exit non-zero")
 	flag.Parse()
 
 	src := io.Reader(os.Stdin)
@@ -111,16 +116,19 @@ func main() {
 	}
 }
 
-// Check evaluates 'BenchmarkName:metric=value' requirements against the
-// report and returns one error per violation (unparsable specs and missing
-// benchmarks/metrics count as violations).
+// Check evaluates 'BenchmarkName:metric=value' requirements — with <= and
+// >= accepted alongside the exact = — against the report and returns one
+// error per violation (unparsable specs and missing benchmarks/metrics
+// count as violations). The inequality forms are what time-series gates
+// use: 'BenchmarkExtract/Sweep64:extract-ms<=500' bounds a wall-time
+// metric without demanding an exact, machine-dependent value.
 func (rep *Report) Check(requires []string) []error {
 	var errs []error
 	for _, spec := range requires {
 		name, rest, ok := strings.Cut(spec, ":")
-		metric, valStr, ok2 := strings.Cut(rest, "=")
+		metric, op, valStr, ok2 := cutOp(rest)
 		if !ok || !ok2 {
-			errs = append(errs, fmt.Errorf("bad -require spec %q (want name:metric=value)", spec))
+			errs = append(errs, fmt.Errorf("bad -require spec %q (want name:metric=value, <= and >= also accepted)", spec))
 			continue
 		}
 		want, err := strconv.ParseFloat(valStr, 64)
@@ -140,8 +148,17 @@ func (rep *Report) Check(requires []string) []error {
 				errs = append(errs, fmt.Errorf("%s: no metric %q", name, metric))
 				continue
 			}
-			if got != want {
-				errs = append(errs, fmt.Errorf("%s: %s = %v, want %v", name, metric, got, want))
+			satisfied := false
+			switch op {
+			case "=":
+				satisfied = got == want
+			case "<=":
+				satisfied = got <= want
+			case ">=":
+				satisfied = got >= want
+			}
+			if !satisfied {
+				errs = append(errs, fmt.Errorf("%s: %s = %v, want %s %v", name, metric, got, op, want))
 			}
 		}
 		if !found {
@@ -149,6 +166,18 @@ func (rep *Report) Check(requires []string) []error {
 		}
 	}
 	return errs
+}
+
+// cutOp splits "metric<=value" / "metric>=value" / "metric=value" into its
+// three parts. The two-character operators are tried first so "<=" is not
+// misread as an "=" with a "<"-suffixed metric name.
+func cutOp(s string) (metric, op, value string, ok bool) {
+	for _, op := range []string{"<=", ">=", "="} {
+		if m, v, found := strings.Cut(s, op); found {
+			return m, op, v, true
+		}
+	}
+	return "", "", "", false
 }
 
 // Parse extracts benchmark lines from go test output.

@@ -56,3 +56,25 @@ func TestCheckRequirements(t *testing.T) {
 		}
 	}
 }
+
+func TestCheckInequalities(t *testing.T) {
+	rep := parseSample(t)
+	// passes/op is 5 and expansions/op is 3 in the sample.
+	if errs := rep.Check([]string{
+		"BenchmarkNegotiatedCongestion/MacroGrid16/workers1:passes/op<=5",
+		"BenchmarkNegotiatedCongestion/MacroGrid16/workers1:passes/op<=8",
+		"BenchmarkNegotiatedCongestion/MacroGrid16/workers1:passes/op>=5",
+		"BenchmarkFig1GridlessAStar:expansions/op>=1",
+	}); len(errs) != 0 {
+		t.Errorf("satisfied bounds reported: %v", errs)
+	}
+	for _, bad := range []string{
+		"BenchmarkNegotiatedCongestion/MacroGrid16/workers1:passes/op<=4", // 5 > 4
+		"BenchmarkNegotiatedCongestion/MacroGrid16/workers1:passes/op>=6", // 5 < 6
+		"BenchmarkFig1GridlessAStar:expansions/op<=2.5",                   // 3 > 2.5
+	} {
+		if errs := rep.Check([]string{bad}); len(errs) != 1 {
+			t.Errorf("Check(%q) = %v, want exactly one violation", bad, errs)
+		}
+	}
+}

@@ -6,6 +6,7 @@
 //	genlayout -kind grid -rows 4 -cols 5 > grid.json
 //	genlayout -kind macro -rows 32 -cols 32 -cellw 40 -cellh 30 -gap 12 > macro.json
 //	genlayout -kind macro -n 64 > macro64.json   # 64x64 = 4096 cells
+//	genlayout -kind macro -n 128 > macro128.json # 128x128 = 16384 cells, ~33k nets
 //	genlayout -kind padring -pads 24 -cells 8 > ring.json
 package main
 

@@ -71,10 +71,13 @@ func main() {
 	if *corner {
 		opts = append(opts, genroute.WithCornerRule())
 	}
+	prepStart := time.Now()
 	e, err := genroute.NewEngine(l, opts...)
 	if err != nil {
 		fatal(err)
 	}
+	fmt.Printf("session prepared in %v (validate + obstacle index + passage extraction)\n",
+		time.Since(prepStart).Round(time.Millisecond))
 
 	ctx := context.Background()
 	if *timeout > 0 {

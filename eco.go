@@ -284,12 +284,28 @@ func (tx *Edit) Commit(ctx context.Context) (*ECOResult, error) {
 		// be unsorted; remapSpans' renumbering binary-searches this list.
 		sort.Ints(removedObs)
 		var err error
-		ix2, err = e.ix.Edit(removedObs, addedRects)
+		var remap []int32
+		ix2, remap, err = e.ix.Edit(removedObs, addedRects)
 		if err != nil {
 			return nil, err
 		}
 		spans2 = remapSpans(e.spans, removedObs, order, l2)
-		passages2, err = congest.Extract(ix2, e.cfg.congest.Pitch)
+		// Splice the passage tables incrementally, mirroring the index
+		// edit: Edit's returned remap carries the renumbering it applied,
+		// ExtractEdit gets the vacated and occupied rectangles, and only
+		// the corridors in that dirty neighborhood are re-extracted
+		// (result identical to a fresh congest.Extract — see the
+		// ExtractEdit equivalence guarantee).
+		removedRects := make([]geom.Rect, len(removedObs))
+		for k, id := range removedObs {
+			removedRects[k] = e.ix.Cell(id)
+		}
+		// Added obstacles occupy the trailing ids of the edited index.
+		addedIDs := make([]int, len(addedRects))
+		for k := range addedIDs {
+			addedIDs[k] = ix2.NumCells() - len(addedRects) + k
+		}
+		passages2, err = congest.ExtractEdit(ix2, e.cfg.congest.Pitch, e.passages, remap, removedRects, addedIDs)
 		if err != nil {
 			return nil, err
 		}

@@ -8,7 +8,10 @@
 //
 // Extract enumerates the passages — free corridors between facing cells and
 // between cells and the routing boundary — with a wire capacity derived
-// from the gap width and the wiring pitch. BuildMap counts how many nets
+// from the gap width and the wiring pitch; it is near-linear in cells
+// (plane-sweep candidates plus interval-tree intrusion stabs, see
+// extract.go), with ExtractEdit splicing a passage list incrementally
+// after an obstacle edit. BuildMap counts how many nets
 // run through each passage; AddNet/RemoveNet splice single nets in and out
 // incrementally. Negotiate iterates the paper's reroute loop to
 // convergence, PathFinder-style: after a parallel first pass, each pass
@@ -59,89 +62,6 @@ func (p Passage) CrossSection() geom.Seg {
 		return geom.S(geom.Pt(p.Rect.MinX, c.Y), geom.Pt(p.Rect.MaxX, c.Y))
 	}
 	return geom.S(geom.Pt(c.X, p.Rect.MinY), geom.Pt(c.X, p.Rect.MaxY))
-}
-
-// Extract enumerates the passages of an obstacle index. A cell pair yields
-// a passage when the cells face each other with positive span overlap and
-// no third cell intrudes into the corridor; each cell also forms passages
-// with the routing boundary it faces. pitch is the minimum wire spacing;
-// capacity = gap/pitch + 1 (wires may run on both corridor boundaries).
-func Extract(ix *plane.Index, pitch geom.Coord) ([]Passage, error) {
-	if pitch <= 0 {
-		return nil, fmt.Errorf("congest: pitch must be positive, got %d", pitch)
-	}
-	var out []Passage
-	n := ix.NumCells()
-	b := ix.Bounds()
-	add := func(p Passage) {
-		if p.Width <= 0 || !p.Rect.IsValid() {
-			return
-		}
-		// Reject corridors another cell intrudes into: those decompose
-		// into the narrower passages formed with the intruder itself.
-		for k := 0; k < n; k++ {
-			if k != p.Between[0] && k != p.Between[1] && ix.Cell(k).IntersectsStrict(p.Rect) {
-				return
-			}
-		}
-		p.Capacity = int(p.Width/pitch) + 1
-		out = append(out, p)
-	}
-	for i := 0; i < n; i++ {
-		ci := ix.Cell(i)
-		for j := i + 1; j < n; j++ {
-			cj := ix.Cell(j)
-			// Horizontal adjacency (vertical corridor).
-			if ov := geom.Overlap1D(ci.MinY, ci.MaxY, cj.MinY, cj.MaxY); ov > 0 {
-				lo, hi := geom.Max(ci.MinY, cj.MinY), geom.Min(ci.MaxY, cj.MaxY)
-				if ci.MaxX < cj.MinX {
-					add(Passage{Between: [2]int{i, j}, Vertical: true,
-						Rect: geom.R(ci.MaxX, lo, cj.MinX, hi), Width: cj.MinX - ci.MaxX})
-				} else if cj.MaxX < ci.MinX {
-					add(Passage{Between: [2]int{j, i}, Vertical: true,
-						Rect: geom.R(cj.MaxX, lo, ci.MinX, hi), Width: ci.MinX - cj.MaxX})
-				}
-			}
-			// Vertical adjacency (horizontal corridor).
-			if ov := geom.Overlap1D(ci.MinX, ci.MaxX, cj.MinX, cj.MaxX); ov > 0 {
-				lo, hi := geom.Max(ci.MinX, cj.MinX), geom.Min(ci.MaxX, cj.MaxX)
-				if ci.MaxY < cj.MinY {
-					add(Passage{Between: [2]int{i, j}, Vertical: false,
-						Rect: geom.R(lo, ci.MaxY, hi, cj.MinY), Width: cj.MinY - ci.MaxY})
-				} else if cj.MaxY < ci.MinY {
-					add(Passage{Between: [2]int{j, i}, Vertical: false,
-						Rect: geom.R(lo, cj.MaxY, hi, ci.MinY), Width: ci.MinY - cj.MaxY})
-				}
-			}
-		}
-		// Cell-to-boundary passages.
-		add(Passage{Between: [2]int{Boundary, i}, Vertical: true,
-			Rect: geom.R(b.MinX, ci.MinY, ci.MinX, ci.MaxY), Width: ci.MinX - b.MinX})
-		add(Passage{Between: [2]int{i, Boundary}, Vertical: true,
-			Rect: geom.R(ci.MaxX, ci.MinY, b.MaxX, ci.MaxY), Width: b.MaxX - ci.MaxX})
-		add(Passage{Between: [2]int{Boundary, i}, Vertical: false,
-			Rect: geom.R(ci.MinX, b.MinY, ci.MaxX, ci.MinY), Width: ci.MinY - b.MinY})
-		add(Passage{Between: [2]int{i, Boundary}, Vertical: false,
-			Rect: geom.R(ci.MinX, ci.MaxY, ci.MaxX, b.MaxY), Width: b.MaxY - ci.MaxY})
-	}
-	// Deterministic order: by rect, then orientation.
-	sort.Slice(out, func(a, c int) bool {
-		ra, rc := out[a].Rect, out[c].Rect
-		if ra.MinX != rc.MinX {
-			return ra.MinX < rc.MinX
-		}
-		if ra.MinY != rc.MinY {
-			return ra.MinY < rc.MinY
-		}
-		if ra.MaxX != rc.MaxX {
-			return ra.MaxX < rc.MaxX
-		}
-		if ra.MaxY != rc.MaxY {
-			return ra.MaxY < rc.MaxY
-		}
-		return out[a].Vertical && !out[c].Vertical
-	})
-	return out, nil
 }
 
 // sectionEntry is one passage cross-section filed in a sectionIndex: the

@@ -278,10 +278,11 @@ func TestTwoPassSecondPassCarriesStats(t *testing.T) {
 }
 
 // tightFunnel engineers a layout the negotiated engine needs at least three
-// passes to solve: a capacity-1 slit threaded by three nets whose detour
-// costs (88, 92, 96 length units around the bottom edge) all exceed the
-// pass-2 penalty of 2*weight but straddle the pass-3 penalty of 3*weight,
-// so overflow only clears once history has accrued for two passes.
+// passes to solve: a sub-pitch (capacity-0) slit threaded by three nets
+// whose detour costs (88, 92, 96 length units around the bottom edge) all
+// exceed the pass-2 penalty of 2*weight but straddle the pass-3 penalty of
+// 3*weight, so overflow only clears once history has accrued for two
+// passes.
 func tightFunnel() *layout.Layout {
 	l := &layout.Layout{
 		Name:   "tight-funnel",
@@ -325,8 +326,8 @@ func TestNegotiateNeedsThreePasses(t *testing.T) {
 	if err := l.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	// Slit is 4 wide; pitch 5 gives capacity 1, so three nets overflow it
-	// by 2.
+	// Slit is 4 wide; pitch 5 makes it sub-pitch — capacity 0 — so three
+	// nets overflow it by 3 and every one must eventually detour.
 	res, err := Negotiate(l, Config{Pitch: 5, Weight: 30, MaxPasses: 6, Workers: 1, HistoryGain: 1})
 	if err != nil {
 		t.Fatal(err)

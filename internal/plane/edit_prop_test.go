@@ -61,9 +61,30 @@ func TestEditMatchesFreshIndex(t *testing.T) {
 			w, h := int64(r.Intn(30)+1), int64(r.Intn(30)+1)
 			added = append(added, geom.R(x, y, geom.Min(x+w, 200), geom.Min(y+h, 200)))
 		}
-		edited, err := base.Edit(removed, added)
+		edited, remap, err := base.Edit(removed, added)
 		if err != nil {
 			t.Fatal(err)
+		}
+		// The returned remap must renumber survivors compactly in order and
+		// mark removals with -1.
+		if len(remap) != base.NumCells() {
+			t.Fatalf("seed=%d: remap covers %d ids, base has %d", seed, len(remap), base.NumCells())
+		}
+		next := int32(0)
+		for id, r := range remap {
+			if contains(removed, id) {
+				if r != -1 {
+					t.Fatalf("seed=%d: removed id %d remaps to %d, want -1", seed, id, r)
+				}
+				continue
+			}
+			if r != next {
+				t.Fatalf("seed=%d: survivor %d remaps to %d, want %d", seed, id, r, next)
+			}
+			if base.Cell(id) != edited.Cell(int(r)) {
+				t.Fatalf("seed=%d: remap sends %v to slot holding %v", seed, base.Cell(id), edited.Cell(int(r)))
+			}
+			next++
 		}
 		all := append(append([]geom.Rect(nil), survivors...), added...)
 		fresh, err := New(base.Bounds(), all)
@@ -119,12 +140,22 @@ func TestEditRejectsBadInput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ix.Edit([]int{1}, nil); err == nil {
+	if _, _, err := ix.Edit([]int{1}, nil); err == nil {
 		t.Fatal("out-of-range removal must be rejected")
 	}
-	if _, err := ix.Edit([]int{0}, []geom.Rect{geom.R(5, 5, 5, 30)}); err == nil {
+	if _, _, err := ix.Edit([]int{0}, []geom.Rect{geom.R(5, 5, 5, 30)}); err == nil {
 		t.Fatal("degenerate addition must be rejected")
 	}
+}
+
+// contains reports whether xs (small) holds v.
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
 }
 
 func TestFromLayoutSpansCoverObstacles(t *testing.T) {

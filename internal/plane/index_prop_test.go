@@ -2,6 +2,7 @@ package plane
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -92,6 +93,45 @@ func naiveCornerRange(rects []geom.Rect, vertical bool, lo, hi geom.Coord) []Cor
 	return out
 }
 
+// naiveRectIntersects is the brute-force reference for RectIntersects.
+func naiveRectIntersects(rects []geom.Rect, r geom.Rect, exclude ...int) bool {
+	if !r.IsValid() || r.Width() <= 0 || r.Height() <= 0 {
+		return false
+	}
+	for i, c := range rects {
+		skip := false
+		for _, e := range exclude {
+			if i == e {
+				skip = true
+				break
+			}
+		}
+		if !skip && c.IntersectsStrict(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// naiveOverlapping is the brute-force reference for AppendX/YOverlapping,
+// sorted ascending for set comparison.
+func naiveOverlapping(rects []geom.Rect, xAxis bool, lo, hi geom.Coord) []int32 {
+	if hi <= lo {
+		return nil // the open interval is empty
+	}
+	var out []int32
+	for i, c := range rects {
+		l, h := c.MinX, c.MaxX
+		if !xAxis {
+			l, h = c.MinY, c.MaxY
+		}
+		if l < hi && h > lo {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
 // checkIndexAgainstNaive runs every indexed query against its reference on
 // one random field; shared by the quick.Check test and the fuzz targets.
 func checkIndexAgainstNaive(t *testing.T, seed int64) {
@@ -128,6 +168,44 @@ func checkIndexAgainstNaive(t *testing.T, seed int64) {
 		wantH := naiveRay(ix.Bounds(), rects, p, d, limit)
 		if gotH.Blocked != wantH.Blocked || gotH.Stop != wantH.Stop {
 			t.Fatalf("seed=%d RayHit(%v,%v,%d) = %+v, naive %+v", seed, p, d, limit, gotH, wantH)
+		}
+
+		// RectIntersects: random query rects, biased to touch obstacle edges
+		// (interestingPoint corners) so the strictness boundary is exercised;
+		// random exclusions, including the degenerate zero-area rect.
+		qa, qb := interestingPoint(r, rects), interestingPoint(r, rects)
+		qr := geom.R(geom.Min(qa.X, qb.X), geom.Min(qa.Y, qb.Y),
+			geom.Max(qa.X, qb.X), geom.Max(qa.Y, qb.Y))
+		var excl []int
+		for k := r.Intn(3); k > 0; k-- {
+			excl = append(excl, r.Intn(len(rects)+2)-1) // may be out of range
+		}
+		if got, want := ix.RectIntersects(qr, excl...), naiveRectIntersects(rects, qr, excl...); got != want {
+			t.Fatalf("seed=%d RectIntersects(%v, %v) = %v, naive %v", seed, qr, excl, got, want)
+		}
+
+		// AppendX/YOverlapping: unordered id sets vs the linear scan.
+		for _, xAxis := range [2]bool{true, false} {
+			olo := geom.Coord(r.Intn(220) - 10)
+			ohi := olo + geom.Coord(r.Intn(120)) - 10 // sometimes empty/inverted
+			var gotIDs []int32
+			if xAxis {
+				gotIDs = ix.AppendXOverlapping(nil, olo, ohi)
+			} else {
+				gotIDs = ix.AppendYOverlapping(nil, olo, ohi)
+			}
+			sort.Slice(gotIDs, func(a, b int) bool { return gotIDs[a] < gotIDs[b] })
+			wantIDs := naiveOverlapping(rects, xAxis, olo, ohi)
+			if len(gotIDs) != len(wantIDs) {
+				t.Fatalf("seed=%d overlapping(x=%v, %d..%d) = %v, naive %v",
+					seed, xAxis, olo, ohi, gotIDs, wantIDs)
+			}
+			for i := range gotIDs {
+				if gotIDs[i] != wantIDs[i] {
+					t.Fatalf("seed=%d overlapping(x=%v, %d..%d) = %v, naive %v",
+						seed, xAxis, olo, ohi, gotIDs, wantIDs)
+				}
+			}
 		}
 
 		lo := geom.Coord(r.Intn(220) - 10)

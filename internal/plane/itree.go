@@ -142,6 +142,65 @@ func (t *intervalTree) build(ids []int32, epts []Corner, class []int8) int32 {
 	return ni
 }
 
+// overlapUntil calls fn for every cell whose span strictly overlaps the
+// open interval (qlo, qhi) — span.lo < qhi && span.hi > qlo — and stops
+// early, returning true, as soon as fn returns true. Like stab, the walk
+// touches O(log n) nodes plus only nodes all of whose spans match: a node
+// is descended on both sides exactly when its center lies strictly inside
+// the query, and every span filed at such a node straddles that center and
+// therefore overlaps the query. Order is unspecified; each cell is visited
+// at most once (every span lives at exactly one node).
+func (t *intervalTree) overlapUntil(qlo, qhi geom.Coord, fn func(ci int32) bool) bool {
+	if qhi <= qlo {
+		return false
+	}
+	var pending []int32 // right children deferred by the both-sides case
+	ni := t.root
+	for {
+		for ni >= 0 {
+			nd := &t.nodes[ni]
+			switch {
+			case qhi <= nd.center:
+				// Straddlers reach hi >= center >= qhi > qlo, so only
+				// lo < qhi discriminates; the right subtree (lo > center)
+				// cannot overlap.
+				for _, ci := range nd.byLo {
+					if t.spans[ci].lo >= qhi {
+						break
+					}
+					if fn(ci) {
+						return true
+					}
+				}
+				ni = nd.left
+			case qlo >= nd.center:
+				for _, ci := range nd.byHi {
+					if t.spans[ci].hi <= qlo {
+						break
+					}
+					if fn(ci) {
+						return true
+					}
+				}
+				ni = nd.right
+			default: // qlo < center < qhi: every straddler overlaps
+				for _, ci := range nd.byLo {
+					if fn(ci) {
+						return true
+					}
+				}
+				pending = append(pending, nd.right)
+				ni = nd.left
+			}
+		}
+		if len(pending) == 0 {
+			return false
+		}
+		ni = pending[len(pending)-1]
+		pending = pending[:len(pending)-1]
+	}
+}
+
 // stab calls fn for every cell whose span strictly contains v (lo < v < hi),
 // each exactly once, in unspecified order. The walk is a single root-to-leaf
 // path: at each node only the sorted side that can contain v is scanned, and

@@ -125,21 +125,32 @@ func (ix *Index) Overlay(extra []geom.Rect) (*Index, error) {
 // Edit returns a new index with the obstacles listed in removed deleted and
 // the extra rectangles appended; the receiver is unchanged. Surviving
 // obstacles keep their relative order but are renumbered compactly, with
-// the added rectangles taking the ids after them — callers that track
-// obstacle ids (the ECO layer's per-cell spans) must re-derive them from
-// the returned ordering. Like Overlay, the corner tables are not re-sorted:
+// the added rectangles taking the ids after them. The returned remap
+// records that renumbering authoritatively — remap[oldID] is the
+// obstacle's id in the new index, or -1 for removed ids — so callers that
+// track obstacle ids (the ECO layer's per-cell spans, the congestion
+// passage splice) consume the numbering Edit actually applied instead of
+// re-deriving it. Like Overlay, the corner tables are not re-sorted:
 // the survivors are filtered out of the receiver's sorted tables (a
 // monotone renumbering preserves the (At, Cell) order) and merged with
 // freshly sorted tables of the additions, so an edit costs
 // O(n + m log m) table work plus the interval-tree rebuild.
-func (ix *Index) Edit(removed []int, added []geom.Rect) (*Index, error) {
+func (ix *Index) Edit(removed []int, added []geom.Rect) (*Index, []int32, error) {
 	if len(removed) == 0 {
-		return ix.Overlay(added)
+		out, err := ix.Overlay(added)
+		if err != nil {
+			return nil, nil, err
+		}
+		remap := make([]int32, len(ix.cells))
+		for i := range remap {
+			remap[i] = int32(i)
+		}
+		return out, remap, nil
 	}
 	drop := make([]bool, len(ix.cells))
 	for _, id := range removed {
 		if id < 0 || id >= len(ix.cells) {
-			return nil, fmt.Errorf("plane: removed obstacle %d out of range [0,%d)", id, len(ix.cells))
+			return nil, nil, fmt.Errorf("plane: removed obstacle %d out of range [0,%d)", id, len(ix.cells))
 		}
 		drop[id] = true
 	}
@@ -158,7 +169,7 @@ func (ix *Index) Edit(removed []int, added []geom.Rect) (*Index, error) {
 	out.cells = append(out.cells, added...)
 	for i := base; i < len(out.cells); i++ {
 		if c := out.cells[i]; !c.IsValid() || c.Width() <= 0 || c.Height() <= 0 {
-			return nil, fmt.Errorf("plane: obstacle %d %v must have positive area", i-base, c)
+			return nil, nil, fmt.Errorf("plane: obstacle %d %v must have positive area", i-base, c)
 		}
 	}
 	filter := func(tab []Corner) []Corner {
@@ -176,7 +187,7 @@ func (ix *Index) Edit(removed []int, added []geom.Rect) (*Index, error) {
 	out.cornersY = mergeCorners(filter(ix.cornersY), sub.cornersY)
 	out.xtree = buildIntervalTree(xSpans(out.cells), out.cornersX)
 	out.ytree = buildIntervalTree(ySpans(out.cells), out.cornersY)
-	return out, nil
+	return out, remap, nil
 }
 
 // reindex rebuilds every derived structure from scratch.
@@ -256,6 +267,58 @@ func (ix *Index) PointBlocked(p geom.Point) (cell int, blocked bool) {
 		return -1, false
 	}
 	return int(best), true
+}
+
+// RectIntersects reports whether any obstacle other than the excluded ids
+// strictly intersects r — interiors overlap; boundary contact does not
+// count, matching geom.Rect.IntersectsStrict. The query stabs the interval
+// tree of r's narrower axis with the rect's span on that axis and filters
+// the survivors on the other axis, so it costs O(log n + obstacles
+// overlapping the narrow span) with an early exit on the first hit. It is
+// the intrusion test behind congestion passage extraction: "does any third
+// cell poke into this corridor".
+func (ix *Index) RectIntersects(r geom.Rect, exclude ...int) bool {
+	if !r.IsValid() || r.Width() <= 0 || r.Height() <= 0 {
+		return false // an empty interior intersects nothing
+	}
+	hit := func(ci int32) bool {
+		c := &ix.cells[ci]
+		if c.MinY >= r.MaxY || c.MaxY <= r.MinY || c.MinX >= r.MaxX || c.MaxX <= r.MinX {
+			return false
+		}
+		for _, e := range exclude {
+			if int(ci) == e {
+				return false
+			}
+		}
+		return true
+	}
+	if r.Width() <= r.Height() {
+		return ix.xtree.overlapUntil(r.MinX, r.MaxX, hit)
+	}
+	return ix.ytree.overlapUntil(r.MinY, r.MaxY, hit)
+}
+
+// AppendXOverlapping appends to dst the ids of every obstacle whose x-span
+// strictly overlaps the open interval (lo, hi) — MinX < hi && MaxX > lo —
+// and returns the extended slice. Each id appears at most once, in
+// unspecified order. The congestion sweep uses it to enumerate the cells
+// alive inside a sweep window.
+func (ix *Index) AppendXOverlapping(dst []int32, lo, hi geom.Coord) []int32 {
+	ix.xtree.overlapUntil(lo, hi, func(ci int32) bool {
+		dst = append(dst, ci)
+		return false
+	})
+	return dst
+}
+
+// AppendYOverlapping is AppendXOverlapping for y-spans.
+func (ix *Index) AppendYOverlapping(dst []int32, lo, hi geom.Coord) []int32 {
+	ix.ytree.overlapUntil(lo, hi, func(ci int32) bool {
+		dst = append(dst, ci)
+		return false
+	})
+	return dst
 }
 
 // InBounds reports whether p lies within the routing area (boundary
