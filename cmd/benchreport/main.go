@@ -49,6 +49,11 @@ type Benchmark struct {
 // Report is the committed JSON document.
 type Report struct {
 	Benchmarks []Benchmark `json:"benchmarks"`
+	// Malformed records Benchmark-prefixed input lines that could not be
+	// parsed (with the reason). They are warned about on stderr, not
+	// committed to the JSON: a truncated bench run should be noticed, not
+	// silently produce a thinner report.
+	Malformed []string `json:"-"`
 }
 
 // requireList collects repeated -require flags.
@@ -80,6 +85,9 @@ func main() {
 	rep, err := Parse(src)
 	if err != nil {
 		fatal(err)
+	}
+	for _, m := range rep.Malformed {
+		fmt.Fprintln(os.Stderr, "benchreport: WARNING: skipped malformed benchmark line:", m)
 	}
 	if len(rep.Benchmarks) == 0 {
 		fatal(fmt.Errorf("no benchmark lines found"))
@@ -193,16 +201,22 @@ func Parse(r io.Reader) (*Report, error) {
 		fields := strings.Fields(line)
 		// Name, iterations, then (value, unit) pairs.
 		if len(fields) < 4 || len(fields)%2 != 0 {
+			rep.Malformed = append(rep.Malformed,
+				fmt.Sprintf("%q (want name, iterations, then value/unit pairs)", line))
 			continue
 		}
 		iters, err := strconv.ParseInt(fields[1], 10, 64)
 		if err != nil {
+			rep.Malformed = append(rep.Malformed,
+				fmt.Sprintf("%q (iteration count: %v)", line, err))
 			continue
 		}
 		b := Benchmark{Name: trimProcs(fields[0]), Iterations: iters}
 		for i := 2; i+1 < len(fields); i += 2 {
 			val, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
+				rep.Malformed = append(rep.Malformed,
+					fmt.Sprintf("%q (metric value %q: %v)", line, fields[i], err))
 				continue
 			}
 			switch unit := fields[i+1]; unit {

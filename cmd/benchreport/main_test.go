@@ -78,3 +78,29 @@ func TestCheckInequalities(t *testing.T) {
 		}
 	}
 }
+
+func TestParseCollectsMalformedLines(t *testing.T) {
+	const in = `goos: linux
+BenchmarkTruncated 	  217246
+BenchmarkBadIters 	  many	      5335 ns/op	     616 B/op	      13 allocs/op
+BenchmarkBadValue 	  100	      oops ns/op	     616 B/op	      13 allocs/op
+BenchmarkGood 	  100	      5335 ns/op	     616 B/op	      13 allocs/op
+ok  	repro	2.153s
+`
+	rep, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 2 {
+		// BenchmarkBadValue still parses its other pairs; BenchmarkGood is clean.
+		t.Errorf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	if len(rep.Malformed) != 3 {
+		t.Fatalf("Malformed = %v, want 3 entries", rep.Malformed)
+	}
+	for i, want := range []string{"BenchmarkTruncated", "BenchmarkBadIters", "BenchmarkBadValue"} {
+		if !strings.Contains(rep.Malformed[i], want) {
+			t.Errorf("Malformed[%d] = %q, want mention of %s", i, rep.Malformed[i], want)
+		}
+	}
+}

@@ -8,8 +8,16 @@
 //	grouter -input chip.json -congestion -pitch 4 -weight 100
 //	grouter -input chip.json -congestion -passes 2 -history 0   # the paper's plain two-pass flow
 //	grouter -input chip.json -congestion -timeout 30s           # budgeted: partial report on expiry
+//	grouter -input chip.json -congestion -checkpoint run.ckpt   # crash-safe: checkpoint as it goes
+//	grouter -input chip.json -congestion -checkpoint run.ckpt -resume   # continue an interrupted run
 //	grouter -input chip.json -tracks          # include detailed tracks
 //	grouter -input chip.json -wires           # dump the routed wires
+//
+// SIGINT/SIGTERM cancel the run cooperatively: the router finishes the rip
+// in flight, writes a final checkpoint (with -checkpoint), prints the
+// partial per-pass report and exits 1. Rerunning with -resume continues
+// from the checkpoint and produces routes byte-identical to an
+// uninterrupted run.
 package main
 
 import (
@@ -18,6 +26,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro"
@@ -37,6 +47,9 @@ func main() {
 		weightStep = flag.Int64("weightstep", 0, "present-cost escalation per pass (0 = flat weight)")
 		historyW   = flag.Int64("historyweight", 0, "history step decoupled from -weight (0 = coupled)")
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget; on expiry the partial per-pass report is printed (0 = none)")
+		checkpoint = flag.String("checkpoint", "", "negotiation checkpoint file (with -congestion): written atomically at pass boundaries, mid-pass per -checkpointevery, and on interruption")
+		ckptEvery  = flag.Int("checkpointevery", 64, "mid-pass checkpoint cadence in rip-ups (0 = pass boundaries only; with -checkpoint)")
+		resume     = flag.Bool("resume", false, "resume the -congestion run from the -checkpoint file instead of starting fresh")
 		tracks     = flag.Bool("tracks", false, "run detailed track assignment")
 		wires      = flag.Bool("wires", false, "print the routed segments")
 		draw       = flag.Bool("draw", false, "render the routed layout as ASCII art")
@@ -71,6 +84,13 @@ func main() {
 	if *corner {
 		opts = append(opts, genroute.WithCornerRule())
 	}
+	if *checkpoint != "" {
+		opts = append(opts, genroute.WithCheckpointFile(*checkpoint, *ckptEvery))
+	}
+	if *resume && (*checkpoint == "" || !*congestion) {
+		fmt.Fprintln(os.Stderr, "grouter: -resume requires -congestion and -checkpoint")
+		os.Exit(2)
+	}
 	prepStart := time.Now()
 	e, err := genroute.NewEngine(l, opts...)
 	if err != nil {
@@ -79,7 +99,11 @@ func main() {
 	fmt.Printf("session prepared in %v (validate + obstacle index + passage extraction)\n",
 		time.Since(prepStart).Round(time.Millisecond))
 
-	ctx := context.Background()
+	// SIGINT/SIGTERM cancel cooperatively: the run stops at the next poll
+	// point, writes its final checkpoint (with -checkpoint) and reports the
+	// partial state.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -87,9 +111,33 @@ func main() {
 	}
 
 	if *congestion {
-		res, err := e.RouteNegotiated(ctx)
-		expired := errors.Is(err, context.DeadlineExceeded)
-		if err != nil && !expired {
+		var res *genroute.NegotiatedResult
+		var err error
+		if *resume {
+			cf, oerr := os.Open(*checkpoint)
+			if oerr != nil {
+				fatal(oerr)
+			}
+			cp, rerr := genroute.ReadCheckpoint(cf)
+			cf.Close()
+			if rerr != nil {
+				fatal(rerr)
+			}
+			where := "a pass boundary"
+			if cp.InPass() {
+				where = "mid-pass"
+			}
+			fmt.Printf("resuming from %s: %d passes recorded, checkpoint at %s\n",
+				*checkpoint, cp.Passes(), where)
+			res, err = e.ResumeNegotiated(ctx, cp)
+		} else {
+			res, err = e.RouteNegotiated(ctx)
+		}
+		interrupted := errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+		if err != nil && !interrupted {
+			fatal(err)
+		}
+		if res == nil {
 			fatal(err)
 		}
 		for i, p := range res.Passes {
@@ -97,10 +145,21 @@ func main() {
 				i+1, p.TotalLength, p.Overflow, p.Overflowed,
 				len(p.Rerouted), p.Routed, s.Nets, p.Stats.Expanded, p.Elapsed.Round(time.Microsecond))
 		}
+		if n := len(res.Panics); n > 0 {
+			fmt.Printf("DEGRADED: %d nets poisoned by routing panics (kept unrouted; see first below)\n%v\n",
+				n, res.Panics[0])
+		}
 		switch {
-		case expired:
-			fmt.Printf("TIMEOUT after %v: partial result above (%d passes recorded, overflow %d); raise -timeout to finish\n",
-				*timeout, len(res.Passes), e.Overflow())
+		case interrupted:
+			what := fmt.Sprintf("TIMEOUT after %v", *timeout)
+			if errors.Is(err, context.Canceled) {
+				what = "INTERRUPTED"
+			}
+			fmt.Printf("%s: best state kept (%d passes recorded, session overflow %d)\n",
+				what, len(res.Passes), e.Overflow())
+			if *checkpoint != "" {
+				fmt.Printf("checkpoint saved to %s; rerun with -resume to continue\n", *checkpoint)
+			}
 			os.Exit(1)
 		case res.Converged && len(res.Passes) == 1:
 			fmt.Println("no congestion: single pass suffices")
@@ -118,10 +177,14 @@ func main() {
 	}
 
 	res, err := e.RouteAll(ctx)
-	if errors.Is(err, context.DeadlineExceeded) {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		what := fmt.Sprintf("TIMEOUT after %v", *timeout)
+		if errors.Is(err, context.Canceled) {
+			what = "INTERRUPTED"
+		}
 		routed := len(res.Nets) - len(res.Failed)
-		fmt.Printf("TIMEOUT after %v: %d/%d nets routed, partial length %d\n",
-			*timeout, routed, len(res.Nets), res.TotalLength)
+		fmt.Printf("%s: %d/%d nets routed, partial length %d\n",
+			what, routed, len(res.Nets), res.TotalLength)
 		os.Exit(1)
 	}
 	if err != nil {

@@ -3,10 +3,12 @@ package genroute
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"time"
 
 	"repro/internal/congest"
+	"repro/internal/faultinject"
 	"repro/internal/geom"
 	"repro/internal/layout"
 	"repro/internal/plane"
@@ -174,8 +176,20 @@ type ECOResult struct {
 // state is installed in the engine and returned with the context's error;
 // a later Commit of a fresh Edit (even an empty one is not needed — any
 // RouteNegotiated call) can resume draining the remaining overflow.
-func (tx *Edit) Commit(ctx context.Context) (*ECOResult, error) {
+//
+// A panic anywhere in the commit is recovered and returned as an error
+// rather than unwinding through the caller. Per-net routing panics during
+// the repair are already isolated by the negotiator; any other panic can
+// only originate before the install step (the install itself is plain
+// assignments), so the engine is left exactly as it was.
+func (tx *Edit) Commit(ctx context.Context) (res *ECOResult, err error) {
 	e := tx.e
+	defer func() {
+		if v := recover(); v != nil {
+			res = nil
+			err = fmt.Errorf("genroute: ECO commit panicked: %v\n%s", v, debug.Stack())
+		}
+	}()
 	if tx.committed {
 		return nil, fmt.Errorf("genroute: Edit already committed")
 	}
@@ -257,6 +271,9 @@ func (tx *Edit) Commit(ctx context.Context) (*ECOResult, error) {
 	// even at macro scale). Failure leaves the engine untouched.
 	if err := l2.Validate(); err != nil {
 		return nil, fmt.Errorf("genroute: ECO edit produces an invalid layout: %w", err)
+	}
+	if ferr := faultinject.Fire(faultinject.Commit, "validated"); ferr != nil {
+		return nil, ferr
 	}
 
 	// 3. Overlay the obstacle index: splice the moved cells' obstacle ids
@@ -385,6 +402,12 @@ func (tx *Edit) Commit(ctx context.Context) (*ECOResult, error) {
 		return nil, err // hard routing error: engine untouched
 	}
 
+	// Fault seam: the last point where a failure leaves the engine
+	// untouched — everything below is the install.
+	if ferr := faultinject.Fire(faultinject.Commit, "install"); ferr != nil {
+		return nil, ferr
+	}
+
 	// 8. Install the new session state (also on cancellation: the partial
 	// repair is consistent — routes, map and history agree).
 	tx.committed = true
@@ -392,6 +415,7 @@ func (tx *Edit) Commit(ctx context.Context) (*ECOResult, error) {
 	e.ix = ix2
 	e.spans = spans2
 	e.passages = passages2
+	e.lhash = 0 // layout changed; Save/checkpoints must re-fingerprint
 	if e.cfg.cornerRule {
 		e.cfg.opts.Cost = router.CornerCost{Ix: ix2}
 	}

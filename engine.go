@@ -50,6 +50,10 @@ type Engine struct {
 	cur     *router.LayoutResult
 	m       *congest.Map
 	history []int
+
+	// lhash memoizes the layout fingerprint for Save and checkpoint writes
+	// (0 = not yet computed; ECO commits reset it).
+	lhash uint64
 }
 
 // NewEngine validates the layout (the paper's three placement restrictions
@@ -173,23 +177,14 @@ func (e *Engine) RouteAll(ctx context.Context) (*Result, error) {
 // RouteNegotiated iterates the negotiated-congestion loop over the prepared
 // session (see RouteNegotiated at package level for the algorithm),
 // replacing the session's routing state with the final pass. The progress
-// observer receives one "negotiate" event per pass. On cancellation the
-// passes completed so far — including a consistent partial final pass — are
-// installed and returned together with the context's error.
+// observer receives one "negotiate" event per pass. On cancellation or
+// deadline expiry the best pass seen so far — minimum overflow, then most
+// nets routed — is installed and the passes completed are returned together
+// with the context's error. With WithCheckpointFile, the run also persists
+// a restartable checkpoint that Engine.ResumeNegotiated can continue from.
 func (e *Engine) RouteNegotiated(ctx context.Context) (*NegotiatedResult, error) {
-	ccfg := e.cfg.congest
-	ccfg.Workers = e.cfg.workers
-	ccfg.BaseOptions = e.cfg.opts // corner rule, mode, budget, trace hooks
-	if e.cfg.progress != nil {
-		total := len(e.l.Nets)
-		ccfg.OnPass = func(n int, p congest.Pass) {
-			e.emit(passProgress("negotiate", n, p, total))
-		}
-	}
-	res, err := congest.NegotiatePrepared(ctx, e.l, e.ix, e.passages, ccfg)
-	if res != nil && len(res.Results) > 0 {
-		e.setState(res.Final(), res.FinalMap().Clone(), append([]int(nil), res.History...))
-	}
+	res, err := congest.NegotiatePrepared(ctx, e.l, e.ix, e.passages, e.negotiateConfig())
+	e.installNegotiated(res, err)
 	return res, err
 }
 

@@ -1,0 +1,456 @@
+package genroute
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// persistOpts is the shared engine configuration for the snapshot tests —
+// the standard funnel negotiation setup the other engine tests use.
+func persistOpts(extra ...Option) []Option {
+	opts := []Option{WithPitch(2), WithPenaltyWeight(40), WithWorkers(1), WithHistory(1, 0)}
+	return append(opts, extra...)
+}
+
+// checkSameRoutes asserts two results carry byte-identical routes.
+func checkSameRoutes(t *testing.T, got, want *Result) {
+	t.Helper()
+	if len(got.Nets) != len(want.Nets) {
+		t.Fatalf("result has %d nets, want %d", len(got.Nets), len(want.Nets))
+	}
+	if got.TotalLength != want.TotalLength {
+		t.Fatalf("total length %d, want %d", got.TotalLength, want.TotalLength)
+	}
+	for i := range got.Nets {
+		g, w := &got.Nets[i], &want.Nets[i]
+		if g.Net != w.Net || g.Found != w.Found {
+			t.Fatalf("net %d: %q/%v, want %q/%v", i, g.Net, g.Found, w.Net, w.Found)
+		}
+		a, b := g.SortedSegments(), w.SortedSegments()
+		if len(a) != len(b) {
+			t.Fatalf("net %q: %d segments, want %d", g.Net, len(a), len(b))
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				t.Fatalf("net %q: segment %d = %v, want %v", g.Net, k, a[k], b[k])
+			}
+		}
+	}
+}
+
+// TestEngineSaveLoadPrepared snapshots a session before any routing: the
+// loaded engine must be an equivalent prepared session — same passage
+// tables, and the same negotiation outcome when routed afterwards.
+func TestEngineSaveLoadPrepared(t *testing.T) {
+	e1, err := NewEngine(funnelLayout(8), persistOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e1.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := LoadEngine(bytes.NewReader(buf.Bytes()), funnelLayout(8), persistOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Routed() {
+		t.Fatal("prepared-only snapshot loaded as routed")
+	}
+	if len(e2.passages) != len(e1.passages) {
+		t.Fatalf("loaded %d passages, want %d", len(e2.passages), len(e1.passages))
+	}
+	for i := range e2.passages {
+		if e2.passages[i] != e1.passages[i] {
+			t.Fatalf("passage %d = %+v, want %+v", i, e2.passages[i], e1.passages[i])
+		}
+	}
+	r1, err := e1.RouteNegotiated(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e2.RouteNegotiated(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Passes) != len(r2.Passes) {
+		t.Fatalf("loaded session took %d passes, original %d", len(r2.Passes), len(r1.Passes))
+	}
+	checkSameRoutes(t, e2.Result(), e1.Result())
+	checkEngineConsistency(t, e2)
+}
+
+// TestEngineSaveLoadRouted snapshots a negotiated session and reloads it:
+// routes, overflow, and history must survive byte-identically, and the
+// loaded session must be fully usable.
+func TestEngineSaveLoadRouted(t *testing.T) {
+	e1, err := NewEngine(funnelLayout(8), persistOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e1.RouteNegotiated(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e1.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := LoadEngine(bytes.NewReader(buf.Bytes()), funnelLayout(8), persistOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e2.Routed() {
+		t.Fatal("routed snapshot loaded without state")
+	}
+	checkSameRoutes(t, e2.Result(), e1.Result())
+	if e2.Overflow() != e1.Overflow() {
+		t.Fatalf("loaded overflow %d, want %d", e2.Overflow(), e1.Overflow())
+	}
+	if len(e2.history) != len(e1.history) {
+		t.Fatalf("history %v, want %v", e2.history, e1.history)
+	}
+	for i := range e2.history {
+		if e2.history[i] != e1.history[i] {
+			t.Fatalf("history[%d] = %d, want %d", i, e2.history[i], e1.history[i])
+		}
+	}
+	checkEngineConsistency(t, e2)
+	// The loaded session is live, not just a snapshot viewer.
+	if err := e2.CheckConnectivity(); err != nil {
+		t.Fatal(err)
+	}
+	if tr, err := e2.AssignTracks(0); err != nil || tr.Wires == 0 {
+		t.Fatalf("tracks on loaded session: %v", err)
+	}
+}
+
+// TestLoadEngineFailsClosed: streams that cannot be proven to match fail
+// with the typed errors, never a half-initialized engine.
+func TestLoadEngineFailsClosed(t *testing.T) {
+	e, err := NewEngine(funnelLayout(8), persistOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	if _, err := LoadEngine(bytes.NewReader([]byte("not a snapshot")), funnelLayout(8)); !errors.Is(err, ErrSnapshotFormat) {
+		t.Fatalf("garbage: err = %v, want ErrSnapshotFormat", err)
+	}
+	if _, err := LoadEngine(bytes.NewReader(valid[:len(valid)-6]), funnelLayout(8)); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("truncated: err = %v, want ErrSnapshotCorrupt", err)
+	}
+	// A different net count is layout drift.
+	if _, err := LoadEngine(bytes.NewReader(valid), funnelLayout(9)); !errors.Is(err, ErrSnapshotLayout) {
+		t.Fatalf("net drift: err = %v, want ErrSnapshotLayout", err)
+	}
+	// So is a moved cell with identical topology.
+	moved := funnelLayout(8)
+	moved.Cells[0].Box = R(188, 0, 208, 96)
+	if _, err := LoadEngine(bytes.NewReader(valid), moved); !errors.Is(err, ErrSnapshotLayout) {
+		t.Fatalf("cell drift: err = %v, want ErrSnapshotLayout", err)
+	}
+}
+
+// TestLoadAdoptsSnapshotPitch: the serialized passage capacities were
+// extracted at the snapshot's pitch, so a conflicting WithPitch at load
+// time must lose.
+func TestLoadAdoptsSnapshotPitch(t *testing.T) {
+	e1, err := NewEngine(funnelLayout(8), WithPitch(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e1.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := LoadEngine(bytes.NewReader(buf.Bytes()), funnelLayout(8), WithPitch(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.cfg.congest.Pitch != 2 {
+		t.Fatalf("loaded pitch %d, want the snapshot's 2", e2.cfg.congest.Pitch)
+	}
+	for i := range e2.passages {
+		if e2.passages[i].Capacity != e1.passages[i].Capacity {
+			t.Fatalf("passage %d capacity %d, want %d", i, e2.passages[i].Capacity, e1.passages[i].Capacity)
+		}
+	}
+}
+
+// TestEngineCheckpointResumeEndToEnd is the engine-level kill-and-resume
+// flow grouter uses: a checkpointed run is interrupted, a fresh engine
+// resumes from the file, and the merged run matches an uninterrupted one
+// byte-identically.
+func TestEngineCheckpointResumeEndToEnd(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+
+	ref, err := NewEngine(funnelLayout(8), persistOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRes, err := ref.RouteNegotiated(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refRes.Passes) < 3 {
+		t.Fatalf("fixture drained in %d passes; the test needs an interruptible run", len(refRes.Passes))
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ea, err := NewEngine(funnelLayout(8), persistOpts(
+		WithCheckpointFile(path, 1),
+		WithProgress(func(p Progress) {
+			if p.Pass == 2 {
+				cancel()
+			}
+		}))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ea.RouteNegotiated(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: err = %v, want context.Canceled", err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("no checkpoint written: %v", err)
+	}
+	cp, err := ReadCheckpoint(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Passes() < 1 {
+		t.Fatalf("checkpoint records %d passes", cp.Passes())
+	}
+
+	eb, err := NewEngine(funnelLayout(8), persistOpts(WithCheckpointFile(path, 1))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eb.ResumeNegotiated(context.Background(), cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := cp.Passes()+len(res.Passes), len(refRes.Passes); got != want {
+		t.Fatalf("checkpointed %d + resumed %d passes, uninterrupted run took %d",
+			cp.Passes(), len(res.Passes), want)
+	}
+	checkSameRoutes(t, eb.Result(), ref.Result())
+	if eb.Overflow() != ref.Overflow() {
+		t.Fatalf("resumed overflow %d, want %d", eb.Overflow(), ref.Overflow())
+	}
+	checkEngineConsistency(t, eb)
+}
+
+// TestResumeRejectsMismatch: a checkpoint only resumes over the exact
+// layout and pitch it was taken over.
+func TestResumeRejectsMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	e, err := NewEngine(funnelLayout(8), persistOpts(WithCheckpointFile(path, 1))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RouteNegotiated(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := ReadCheckpoint(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	other, err := NewEngine(funnelLayout(6), persistOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.ResumeNegotiated(context.Background(), cp); !errors.Is(err, ErrSnapshotLayout) {
+		t.Fatalf("layout drift: err = %v, want ErrSnapshotLayout", err)
+	}
+	repitched, err := NewEngine(funnelLayout(8), WithPitch(4), WithPenaltyWeight(40), WithWorkers(1), WithHistory(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repitched.ResumeNegotiated(context.Background(), cp); !errors.Is(err, ErrSnapshotLayout) {
+		t.Fatalf("pitch drift: err = %v, want ErrSnapshotLayout", err)
+	}
+}
+
+// TestSaveRefingerprintsAfterECO: an ECO commit mutates the layout, so a
+// snapshot taken before the edit must not load over the edited layout (and
+// vice versa) — the memoized fingerprint has to be recomputed.
+func TestSaveRefingerprintsAfterECO(t *testing.T) {
+	e, err := NewEngine(funnelLayout(8), persistOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RouteNegotiated(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var before bytes.Buffer
+	if err := e.Save(&before); err != nil {
+		t.Fatal(err)
+	}
+	tx := e.Edit()
+	if err := tx.MoveCell("lower", 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var after bytes.Buffer
+	if err := e.Save(&after); err != nil {
+		t.Fatal(err)
+	}
+	// The pre-edit snapshot no longer matches the engine's layout...
+	if _, err := LoadEngine(bytes.NewReader(before.Bytes()), e.Layout()); !errors.Is(err, ErrSnapshotLayout) {
+		t.Fatalf("stale snapshot: err = %v, want ErrSnapshotLayout", err)
+	}
+	// ...but the post-edit one round-trips, routes included.
+	e2, err := LoadEngine(bytes.NewReader(after.Bytes()), e.Layout(), persistOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSameRoutes(t, e2.Result(), e.Result())
+	checkEngineConsistency(t, e2)
+}
+
+// BenchmarkEngineLoad measures the warm-start claim: rebuilding a 64×64
+// macro-grid session from a snapshot (layout fingerprint check + index
+// rebuild, no re-validation, no passage extraction) against the cold
+// NewEngine preparation. CI gates warm-vs-cold-pct at ≤10.
+func BenchmarkEngineLoad(b *testing.B) {
+	l, err := MacroGrid(64, 64, 40, 30, 12, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := NewEngine(l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var cold, warm time.Duration
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, err := NewEngine(l); err != nil {
+			b.Fatal(err)
+		}
+		t1 := time.Now()
+		if _, err := LoadEngine(bytes.NewReader(data), l); err != nil {
+			b.Fatal(err)
+		}
+		warm += time.Since(t1)
+		cold += t1.Sub(t0)
+	}
+	b.ReportMetric(float64(warm.Nanoseconds())/float64(b.N), "warm-ns/op")
+	b.ReportMetric(float64(warm)*100/float64(cold), "warm-vs-cold-pct")
+}
+
+// BenchmarkNegotiateResume32 is the crash-safety smoke at macro scale: a
+// checkpointed 32×32 negotiation killed after its first pass, resumed from
+// the file by a fresh engine, must still drain to zero overflow with routes
+// byte-identical to an uninterrupted run (CI gates overflow/op=0 and
+// identical/op=1). Pitch 6 (capacity 2 per corridor) congests the grid
+// enough to need rip-up passes while still converging in seconds.
+func BenchmarkNegotiateResume32(b *testing.B) {
+	l, err := MacroGrid(32, 32, 40, 30, 12, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	macroOpts := func(extra ...Option) []Option {
+		opts := []Option{WithPitch(6), WithPenaltyWeight(40), WithWeightStep(40),
+			WithHistory(1, 10), WithMaxPasses(12)}
+		return append(opts, extra...)
+	}
+	ref, err := NewEngine(l, macroOpts()...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	refRes, err := ref.RouteNegotiated(context.Background())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(refRes.Passes) < 2 {
+		b.Fatalf("scene drained in %d passes; the interruption needs a longer run", len(refRes.Passes))
+	}
+	sameRoutes := func(got, want *Result) bool {
+		if got.TotalLength != want.TotalLength {
+			return false
+		}
+		for i := range got.Nets {
+			a, bb := got.Nets[i].SortedSegments(), want.Nets[i].SortedSegments()
+			if len(a) != len(bb) {
+				return false
+			}
+			for k := range a {
+				if a[k] != bb[k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	b.ResetTimer()
+	var overflow, identical float64
+	for i := 0; i < b.N; i++ {
+		path := filepath.Join(b.TempDir(), "run.ckpt")
+		ctx, cancel := context.WithCancel(context.Background())
+		ea, err := NewEngine(l, macroOpts(
+			WithCheckpointFile(path, 64),
+			WithProgress(func(p Progress) {
+				if p.Pass == 1 {
+					cancel()
+				}
+			}))...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ea.RouteNegotiated(ctx); !errors.Is(err, context.Canceled) {
+			b.Fatalf("interrupted run: err = %v, want context.Canceled", err)
+		}
+		cancel()
+		f, err := os.Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cp, err := ReadCheckpoint(f)
+		f.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		eb, err := NewEngine(l, macroOpts()...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eb.ResumeNegotiated(context.Background(), cp); err != nil {
+			b.Fatal(err)
+		}
+		overflow = float64(eb.Overflow())
+		identical = 0
+		if sameRoutes(eb.Result(), ref.Result()) {
+			identical = 1
+		}
+	}
+	b.ReportMetric(overflow, "overflow/op")
+	b.ReportMetric(identical, "identical/op")
+}

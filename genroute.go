@@ -109,6 +109,8 @@ type config struct {
 	congest     congest.Config
 	adjustIters int
 	progress    ProgressFunc
+	ckptPath    string
+	ckptEvery   int
 }
 
 // newConfig applies the options over the engine defaults.
@@ -193,6 +195,20 @@ func WithHistory(gain int, weight int64) Option {
 // CongestionConfig.WeightStep).
 func WithWeightStep(step int64) Option {
 	return func(c *config) { c.congest.WeightStep = step }
+}
+
+// WithCheckpointFile makes RouteNegotiated (and ResumeNegotiated) persist a
+// restartable checkpoint to path at every pass boundary and, when every > 0,
+// after every `every` rip-ups within a pass. Writes are atomic (temp file +
+// rename), so a crash at any instant leaves either the previous or the new
+// checkpoint, never a torn one. A run resumed from the file with
+// Engine.ResumeNegotiated produces byte-identical routes to the
+// uninterrupted run.
+func WithCheckpointFile(path string, every int) Option {
+	return func(c *config) {
+		c.ckptPath = path
+		c.ckptEvery = every
+	}
 }
 
 // WithAdjustIters bounds the placement-adjustment feedback loop (default

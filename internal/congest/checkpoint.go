@@ -1,0 +1,212 @@
+package congest
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/plane"
+	"repro/internal/router"
+)
+
+// Checkpoint is the restartable state of a negotiation run, captured by the
+// Config.Checkpoint hook. It is self-contained: NegotiateResume rebuilds the
+// live congestion map from Nets (checkpoints are only taken between rip-ups,
+// where the map and the routing state agree exactly), so the resumed run
+// replays the remaining work byte-identically to an uninterrupted one.
+type Checkpoint struct {
+	// PassesRecorded counts the passes already recorded (and reported
+	// through OnPass) when the checkpoint was taken; it offsets the resumed
+	// run's MaxPasses accounting.
+	PassesRecorded int
+	// ReroutePass is the weight-schedule ordinal: the number of reroute
+	// passes started so far. A mid-pass checkpoint stores the
+	// post-increment value, so resume re-derives the in-progress pass's
+	// present weight without re-running the pass prologue.
+	ReroutePass int
+	// History is the accumulated per-passage overflow history, including
+	// the in-progress pass's pass-start accrual (history accrues in the
+	// pass prologue, which never re-runs on resume).
+	History []int
+	// Nets is the complete per-net routing state at the checkpoint:
+	// committed passes plus the in-progress pass's reroutes so far, in
+	// layout net order.
+	Nets []router.NetRoute
+	// InPass marks a mid-pass checkpoint; the fields below restore the
+	// pass's progress. A pass-boundary checkpoint leaves them zero.
+	InPass bool
+	// Changed reports whether any route moved so far in the in-progress
+	// pass (feeds the stall detection when the pass completes).
+	Changed bool
+	// Ripped flags the nets already ripped this pass, by net index.
+	Ripped []bool
+	// Initial is the pass's seed rip order; InitialPos is the next index
+	// into it still to process.
+	Initial    []int
+	InitialPos int
+	// Rerouted lists the nets ripped and rerouted so far this pass, in rip
+	// order (the in-progress pass's Pass.Rerouted prefix).
+	Rerouted []string
+}
+
+// validate checks a checkpoint against the session it is being resumed
+// into; it fails closed on any structural mismatch.
+func (cp *Checkpoint) validate(l *layout.Layout, passages []Passage) error {
+	if len(cp.Nets) != len(l.Nets) {
+		return fmt.Errorf("congest: checkpoint has %d nets, layout %d", len(cp.Nets), len(l.Nets))
+	}
+	if len(cp.History) != len(passages) {
+		return fmt.Errorf("congest: checkpoint has %d history entries, session %d passages", len(cp.History), len(passages))
+	}
+	if cp.PassesRecorded < 0 || cp.ReroutePass < 0 {
+		return fmt.Errorf("congest: checkpoint has negative pass counters")
+	}
+	if !cp.InPass {
+		return nil
+	}
+	if cp.ReroutePass < 1 {
+		return fmt.Errorf("congest: mid-pass checkpoint without a started reroute pass")
+	}
+	if len(cp.Ripped) != len(l.Nets) {
+		return fmt.Errorf("congest: checkpoint has %d rip flags, layout %d nets", len(cp.Ripped), len(l.Nets))
+	}
+	for _, ni := range cp.Initial {
+		if ni < 0 || ni >= len(l.Nets) {
+			return fmt.Errorf("congest: checkpoint rip index %d out of range [0,%d)", ni, len(l.Nets))
+		}
+	}
+	if cp.InitialPos < 0 || cp.InitialPos > len(cp.Initial) {
+		return fmt.Errorf("congest: checkpoint rip position %d out of range [0,%d]", cp.InitialPos, len(cp.Initial))
+	}
+	return nil
+}
+
+// clone deep-copies the checkpoint so the hook may retain it after the
+// negotiator moves on.
+func (cp *Checkpoint) clone() *Checkpoint {
+	c := *cp
+	c.History = append([]int(nil), cp.History...)
+	c.Nets = append([]router.NetRoute(nil), cp.Nets...)
+	c.Ripped = append([]bool(nil), cp.Ripped...)
+	c.Initial = append([]int(nil), cp.Initial...)
+	c.Rerouted = append([]string(nil), cp.Rerouted...)
+	return &c
+}
+
+// boundaryCheckpoint fires the checkpoint hook with a pass-boundary blob
+// (the state between recorded passes). A hook write failure aborts the run:
+// a caller asking for crash safety must not silently lose it.
+func (ng *negotiator) boundaryCheckpoint() error {
+	if ng.cfg.Checkpoint == nil {
+		return nil
+	}
+	cp := &Checkpoint{
+		PassesRecorded: ng.passOffset + len(ng.res.Passes),
+		ReroutePass:    ng.reroutePass,
+		History:        append([]int(nil), ng.res.History...),
+		Nets:           append([]router.NetRoute(nil), ng.cur.Nets...),
+	}
+	if err := ng.cfg.Checkpoint(cp); err != nil {
+		return fmt.Errorf("congest: checkpoint hook: %w", err)
+	}
+	return nil
+}
+
+// midPassCheckpoint fires the checkpoint hook with the in-progress pass's
+// state. Checkpoints are only taken between rip-ups, so st.next and the
+// live map agree exactly — which is what lets resume rebuild the map from
+// the blob's routes.
+func (ng *negotiator) midPassCheckpoint(st *passRun) error {
+	if ng.cfg.Checkpoint == nil {
+		return nil
+	}
+	cp := &Checkpoint{
+		PassesRecorded: ng.passOffset + len(ng.res.Passes),
+		ReroutePass:    ng.reroutePass,
+		History:        append([]int(nil), ng.res.History...),
+		Nets:           append([]router.NetRoute(nil), st.next.Nets...),
+		InPass:         true,
+		Changed:        st.changed,
+		Ripped:         append([]bool(nil), st.ripped...),
+		Initial:        append([]int(nil), st.initial...),
+		InitialPos:     st.pos,
+		Rerouted:       append([]string(nil), st.rerouted...),
+	}
+	if err := ng.cfg.Checkpoint(cp); err != nil {
+		return fmt.Errorf("congest: checkpoint hook: %w", err)
+	}
+	return nil
+}
+
+// NegotiateResume continues a checkpointed negotiation run over the same
+// prepared session (identical layout, index, passage set and Config — the
+// caller is responsible for that identity; the public Engine pins it with a
+// layout hash). The live map is rebuilt from the checkpoint's routes, a
+// mid-pass blob finishes its interrupted pass from the exact rip it stopped
+// at, and the loop then continues under the original MaxPasses budget
+// (PassesRecorded passes are already spent). The returned result covers the
+// resumed portion only: its Passes are the passes recorded after the
+// checkpoint, and History/Converged/Stalled describe the completed run.
+//
+// The run this produces is byte-identical to the uninterrupted one: the
+// negotiator is deterministic given (layout, index, passages, config,
+// state), and the checkpoint captures the complete state between rips.
+func NegotiateResume(ctx context.Context, l *layout.Layout, ix *plane.Index, passages []Passage, cfg Config, cp *Checkpoint) (*NegotiateResult, error) {
+	if err := cp.validate(l, passages); err != nil {
+		return nil, err
+	}
+	cp = cp.clone() // the negotiator takes the state over; keep the caller's blob intact
+	maxPasses := cfg.MaxPasses
+	if maxPasses <= 0 {
+		maxPasses = DefaultMaxPasses
+	}
+	segs := make([][]geom.Seg, len(cp.Nets))
+	for i := range cp.Nets {
+		segs[i] = cp.Nets[i].Segments
+	}
+	m := buildMapWithIndex(passages, newSectionIndex(passages), segs)
+	ng := newNegotiator(l, ix, cfg, m, cp.History)
+	ng.passOffset = cp.PassesRecorded
+	ng.reroutePass = cp.ReroutePass
+	ng.cur = &router.LayoutResult{Nets: cp.Nets}
+	ng.cur.Finalize(time.Now())
+
+	if cp.InPass {
+		// Finish the interrupted pass: restore its rip state and present
+		// weight (the pass prologue — history accrual, weight escalation,
+		// reroutePass increment — already ran before the checkpoint).
+		ng.presWeight = cfg.Weight + cfg.WeightStep*geom.Coord(cp.ReroutePass-1)
+		st := &passRun{
+			next:     &router.LayoutResult{Nets: append([]router.NetRoute(nil), cp.Nets...)},
+			ripped:   cp.Ripped,
+			initial:  cp.Initial,
+			pos:      cp.InitialPos,
+			rerouted: cp.Rerouted,
+			changed:  cp.Changed,
+		}
+		changed, err := ng.runPassFrom(ctx, st, time.Now())
+		if err != nil {
+			if ctx.Err() != nil {
+				return ng.finish(), err
+			}
+			return nil, err
+		}
+		if err := ng.boundaryCheckpoint(); err != nil {
+			return nil, err
+		}
+		if !changed && cfg.HistoryGain <= 0 && cfg.WeightStep <= 0 {
+			ng.res.Stalled = m.TotalOverflow() > 0
+			return ng.finish(), nil
+		}
+	}
+	res, err := ng.drain(ctx, maxPasses)
+	if res != nil && len(res.Results) == 0 {
+		// The checkpointed state was already final (converged, stalled or
+		// out of budget at the boundary): record the carried state as the
+		// single pass so Final()/FinalMap() stay well-defined.
+		ng.record(nil)
+	}
+	return res, err
+}

@@ -24,10 +24,12 @@ package congest
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/geom"
 	"repro/internal/layout"
 	"repro/internal/plane"
@@ -440,6 +442,20 @@ type Config struct {
 	// that a flat weight would never justify. Zero keeps the price flat
 	// (and with HistoryGain 0 lets the engine detect fixed points early).
 	WeightStep geom.Coord
+	// Checkpoint, when non-nil, receives a restartable state blob at every
+	// pass boundary and — when CheckpointEvery is positive — after every
+	// CheckpointEvery rip-ups inside a pass. The blob is the hook's to
+	// keep: it is freshly allocated per call and shares no state with the
+	// live run. The hook runs inline on the negotiation goroutine; a
+	// non-nil error aborts the run (a caller asking for crash safety must
+	// not silently lose a checkpoint). On cancellation one final blob is
+	// delivered before the partial pass is recorded, so a resumed run
+	// completes the interrupted pass exactly as the uninterrupted one
+	// would have.
+	Checkpoint func(*Checkpoint) error
+	// CheckpointEvery sets the mid-pass checkpoint cadence in rip-ups;
+	// zero (or negative) checkpoints at pass boundaries only.
+	CheckpointEvery int
 	// OnPass, when non-nil, observes every recorded pass as it completes:
 	// n is the 1-based pass number within the run. The hook runs inline on
 	// the negotiation goroutine — keep it cheap. It is the progress feed
@@ -494,6 +510,10 @@ type NegotiateResult struct {
 	// Stalled reports that the loop stopped early because a pass changed
 	// no route and no history term could alter future passes.
 	Stalled bool
+	// Panics collects per-net panics recovered during the run (see
+	// router.PanicError): a net whose reroute panicked keeps its previous
+	// route and the run continues. Empty in healthy runs.
+	Panics []*router.PanicError
 }
 
 // Final returns the routing state after the last pass.
@@ -503,6 +523,24 @@ func (r *NegotiateResult) Final() *router.LayoutResult {
 
 // FinalMap returns the congestion map after the last pass.
 func (r *NegotiateResult) FinalMap() *Map { return r.Maps[len(r.Maps)-1] }
+
+// BestPass returns the index of the best recorded pass: minimum overflow,
+// ties broken by most nets routed, then by recency. A deadline-bounded run
+// uses it to keep the best state seen rather than the last partial pass
+// (overflow is not monotone across passes — a late pass interrupted
+// mid-displacement-chain can be worse than an earlier one). Returns -1 when
+// no pass was recorded.
+func (r *NegotiateResult) BestPass() int {
+	best := -1
+	for i, p := range r.Passes {
+		if best < 0 ||
+			p.Overflow < r.Passes[best].Overflow ||
+			(p.Overflow == r.Passes[best].Overflow && p.Routed >= r.Passes[best].Routed) {
+			best = i
+		}
+	}
+	return best
+}
 
 // negotiator is the shared engine behind Negotiate and RepairCtx: a live
 // map, the routing state after the latest pass, one penalized router whose
@@ -524,6 +562,10 @@ type negotiator struct {
 	// ordinal): reroute pass k prices an over-capacity crossing at
 	// Weight + k*WeightStep.
 	reroutePass int
+	// passOffset counts passes recorded before this negotiator ran — zero
+	// for a fresh run, the checkpoint's PassesRecorded for a resumed one —
+	// so MaxPasses bounds the whole logical run, not each resume leg.
+	passOffset int
 }
 
 // newNegotiator wires a negotiator over an existing live map. history, when
@@ -582,37 +624,95 @@ func (ng *negotiator) record(rerouted []string) {
 // recorded routing state — the partial pass is recorded, and the context's
 // error is returned. Any other routing error aborts without recording.
 func (ng *negotiator) runPass(ctx context.Context, initial []int) (changed bool, err error) {
-	m := ng.m
 	// Accrue history for the passages overflowed at pass start; overflow
 	// still present when the run ends is folded in by the caller.
-	for _, pi := range m.Overflowed() {
+	for _, pi := range ng.m.Overflowed() {
 		ng.res.History[pi]++
 	}
 	// Present-cost schedule (see Config.WeightStep).
 	ng.presWeight = ng.cfg.Weight + ng.cfg.WeightStep*geom.Coord(ng.reroutePass)
 	ng.reroutePass++
+	st := &passRun{
+		next:    &router.LayoutResult{Nets: append([]router.NetRoute(nil), ng.cur.Nets...)},
+		ripped:  make([]bool, len(ng.l.Nets)),
+		initial: initial,
+	}
+	return ng.runPassFrom(ctx, st, time.Now())
+}
 
-	start := time.Now()
-	next := &router.LayoutResult{Nets: append([]router.NetRoute(nil), ng.cur.Nets...)}
-	var rerouted []string
-	ripped := make([]bool, len(ng.l.Nets))
+// passRun is the mutable state of one in-progress rip-up pass — exactly
+// what a mid-pass checkpoint captures and NegotiateResume restores. The
+// pass prologue (history accrual, weight escalation) is not part of it: it
+// runs once per pass, before the first checkpoint can observe the pass.
+type passRun struct {
+	// next is the routing state under construction (a copy of the previous
+	// pass with reroutes spliced in as they land).
+	next *router.LayoutResult
+	// ripped flags the nets already ripped this pass.
+	ripped []bool
+	// initial is the seed rip order; pos the next index to process.
+	initial []int
+	pos     int
+	// rerouted accumulates the pass's Pass.Rerouted list.
+	rerouted []string
+	// changed reports whether any route moved so far.
+	changed bool
+	// sinceCkpt counts rip-ups since the last mid-pass checkpoint.
+	sinceCkpt int
+}
+
+// ripRoute reroutes one net for the rip-up loop, isolating panics: a panic
+// anywhere in the per-net search surfaces as a *router.PanicError instead
+// of unwinding the whole run. The reroute fault-injection seam fires here,
+// inside the guard.
+func (ng *negotiator) ripRoute(ctx context.Context, ni int) (nr router.NetRoute, err error) {
+	name := ng.l.Nets[ni].Name
+	defer router.RecoverNetPanic(name, &nr, &err)
+	if ferr := faultinject.Fire(faultinject.Reroute, name); ferr != nil {
+		return router.NetRoute{Net: name}, ferr
+	}
+	return ng.penalized.RouteNetCtx(ctx, &ng.l.Nets[ni])
+}
+
+// runPassFrom drives a pass from the given (possibly restored) state.
+func (ng *negotiator) runPassFrom(ctx context.Context, st *passRun, start time.Time) (changed bool, err error) {
+	m := ng.m
 	rip := func(ni int) error {
-		ripped[ni] = true
-		old := next.Nets[ni]
+		st.ripped[ni] = true
+		old := st.next.Nets[ni]
 		m.RemoveNet(ni, old.Segments)
-		nr, rerr := ng.penalized.RouteNetCtx(ctx, &ng.l.Nets[ni])
+		nr, rerr := ng.ripRoute(ctx, ni)
 		if rerr != nil {
 			// Splice the old route back so the map stays consistent with
 			// the routing state we are about to record.
 			m.AddNet(ni, old.Segments)
+			var pe *router.PanicError
+			if errors.As(rerr, &pe) {
+				// Poisoned net: it keeps its previous route, the panic is
+				// remembered, and the pass goes on — one bad net must not
+				// kill a whole-layout run.
+				ng.res.Panics = append(ng.res.Panics, pe)
+				return nil
+			}
+			if ctx.Err() != nil {
+				// Interrupted mid-reroute: the net kept its old route, so
+				// a resumed run must rip it again.
+				st.ripped[ni] = false
+			}
 			return rerr
 		}
 		m.AddNet(ni, nr.Segments)
 		if !sameRoute(&old, &nr) {
-			changed = true
+			st.changed = true
 		}
-		next.Nets[ni] = nr
-		rerouted = append(rerouted, ng.l.Nets[ni].Name)
+		st.next.Nets[ni] = nr
+		st.rerouted = append(st.rerouted, ng.l.Nets[ni].Name)
+		if every := ng.cfg.CheckpointEvery; every > 0 {
+			if st.sinceCkpt++; st.sinceCkpt >= every {
+				st.sinceCkpt = 0
+				return ng.midPassCheckpoint(st)
+			}
+		}
 		return nil
 	}
 	// Every net of the initial set gets ripped, in the given (ascending)
@@ -621,14 +721,14 @@ func (ng *negotiator) runPass(ctx context.Context, initial []int) (changed bool,
 	// for a pinned neighbor; skipping "already drained" nets leaves the
 	// same low-indexed nets doing all the moving while the one net whose
 	// move would actually release capacity is never consulted.
-	for _, ni := range initial {
+	for ; st.pos < len(st.initial); st.pos++ {
 		if err = ctx.Err(); err != nil {
 			break
 		}
-		if ripped[ni] {
+		if st.ripped[st.initial[st.pos]] {
 			continue
 		}
-		if err = rip(ni); err != nil {
+		if err = rip(st.initial[st.pos]); err != nil {
 			break
 		}
 	}
@@ -639,19 +739,63 @@ func (ng *negotiator) runPass(ctx context.Context, initial []int) (changed bool,
 		if err = ctx.Err(); err != nil {
 			break
 		}
-		ni := m.nextRipNet(ripped)
+		ni := m.nextRipNet(st.ripped)
 		if ni < 0 {
 			break
 		}
 		err = rip(ni)
 	}
 	if err != nil && ctx.Err() == nil {
-		return changed, err // real routing failure: nothing recorded
+		return st.changed, err // real routing failure: nothing recorded
 	}
-	next.Finalize(start)
-	ng.cur = next
-	ng.record(rerouted)
-	return changed, err
+	if err != nil {
+		// Cancelled: deliver a final restartable blob before the partial
+		// pass is recorded. The blob, not the recorded partial pass, is
+		// the resume point — a resumed run finishes this pass exactly as
+		// the uninterrupted run would have, rather than double-counting
+		// it against MaxPasses.
+		if cerr := ng.midPassCheckpoint(st); cerr != nil {
+			return st.changed, cerr
+		}
+	}
+	st.next.Finalize(start)
+	ng.cur = st.next
+	ng.record(st.rerouted)
+	return st.changed, err
+}
+
+// drain iterates recorded rip-up passes until convergence, stall,
+// exhaustion of the (offset-adjusted) pass budget, or cancellation — the
+// shared tail of NegotiatePrepared, RepairCtx and NegotiateResume.
+func (ng *negotiator) drain(ctx context.Context, maxPasses int) (*NegotiateResult, error) {
+	m := ng.m
+	for ng.passOffset+len(ng.res.Passes) < maxPasses {
+		if err := ctx.Err(); err != nil {
+			return ng.finish(), err
+		}
+		if m.TotalOverflow() == 0 {
+			break
+		}
+		changed, err := ng.runPass(ctx, m.AffectedNets())
+		if err != nil {
+			if ctx.Err() != nil {
+				return ng.finish(), err
+			}
+			return nil, err
+		}
+		if err := ng.boundaryCheckpoint(); err != nil {
+			return nil, err
+		}
+		if !changed && ng.cfg.HistoryGain <= 0 && ng.cfg.WeightStep <= 0 {
+			// Fixed point: the same penalties would reproduce the same
+			// routes forever. With history or a weight schedule the
+			// penalty keeps growing, so an unchanged pass is not final and
+			// the loop continues.
+			ng.res.Stalled = true
+			break
+		}
+	}
+	return ng.finish(), nil
 }
 
 // finish folds still-present overflow into the history (runPass accrues
@@ -709,35 +853,15 @@ func NegotiatePrepared(ctx context.Context, l *layout.Layout, ix *plane.Index, p
 	m := buildMapWithIndex(passages, newSectionIndex(passages), netSegs(first))
 	ng := newNegotiator(l, ix, cfg, m, nil)
 	ng.cur = first
+	ng.res.Panics = append(ng.res.Panics, first.Panics...)
 	ng.record(nil)
 	if err != nil {
 		return ng.finish(), err // cancelled during the first pass
 	}
-
-	for len(ng.res.Passes) < maxPasses {
-		if err := ctx.Err(); err != nil {
-			return ng.finish(), err
-		}
-		if m.TotalOverflow() == 0 {
-			break
-		}
-		changed, err := ng.runPass(ctx, m.AffectedNets())
-		if err != nil {
-			if ctx.Err() != nil {
-				return ng.finish(), err
-			}
-			return nil, err
-		}
-		if !changed && cfg.HistoryGain <= 0 && cfg.WeightStep <= 0 {
-			// Fixed point: the same penalties would reproduce the same
-			// routes forever. With history or a weight schedule the
-			// penalty keeps growing, so an unchanged pass is not final and
-			// the loop continues.
-			ng.res.Stalled = true
-			break
-		}
+	if err := ng.boundaryCheckpoint(); err != nil {
+		return nil, err
 	}
-	return ng.finish(), nil
+	return ng.drain(ctx, maxPasses)
 }
 
 // RepairCtx is the incremental (ECO) entry point: instead of routing the
@@ -784,34 +908,28 @@ func RepairCtx(ctx context.Context, l *layout.Layout, ix *plane.Index, passages 
 	if len(work) == 0 && m.TotalOverflow() == 0 {
 		return ng.finish(), nil // nothing to repair
 	}
-	for len(ng.res.Passes) < maxPasses {
-		if err := ctx.Err(); err != nil {
+	if err := ctx.Err(); err != nil {
+		return ng.finish(), err
+	}
+	// First pass: the edit's dirty set seeds the rip order.
+	changed, err := ng.runPass(ctx, work)
+	if err != nil {
+		if ctx.Err() != nil {
 			return ng.finish(), err
 		}
-		var initial []int
-		if len(ng.res.Passes) == 0 {
-			initial = work // first pass: the edit's dirty set seeds the rip order
-		} else if m.TotalOverflow() == 0 {
-			break
-		} else {
-			initial = m.AffectedNets()
-		}
-		changed, err := ng.runPass(ctx, initial)
-		if err != nil {
-			if ctx.Err() != nil {
-				return ng.finish(), err
-			}
-			return nil, err
-		}
-		if !changed && cfg.HistoryGain <= 0 && cfg.WeightStep <= 0 {
-			// An unchanged pass is a fixed point; it only counts as a
-			// stall when overflow is actually left (a clean first repair
-			// pass that reproduced a dirty net's route is just done).
-			ng.res.Stalled = m.TotalOverflow() > 0
-			break
-		}
+		return nil, err
 	}
-	return ng.finish(), nil
+	if err := ng.boundaryCheckpoint(); err != nil {
+		return nil, err
+	}
+	if !changed && cfg.HistoryGain <= 0 && cfg.WeightStep <= 0 {
+		// An unchanged pass is a fixed point; it only counts as a stall
+		// when overflow is actually left (a clean first repair pass that
+		// reproduced a dirty net's route is just done).
+		ng.res.Stalled = m.TotalOverflow() > 0
+		return ng.finish(), nil
+	}
+	return ng.drain(ctx, maxPasses)
 }
 
 // sameRoute reports whether two routes of the same net have identical

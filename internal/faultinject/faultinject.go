@@ -1,0 +1,107 @@
+// Package faultinject is a test-only fault-injection harness. Production
+// code calls Fire at its failure seams — the search expansion loop, the
+// negotiator's reroute step, the ECO commit — and tests install a Hook that
+// decides, per site, whether the seam proceeds normally, returns an injected
+// error, or panics. With no hook installed (the production state) Fire is a
+// single atomic load, so the seams cost nothing on the hot path.
+//
+// The harness is process-global by design: the seams live deep inside
+// goroutine pools where threading a per-call hook through every layer would
+// distort the code under test. Tests that Enable a hook must not run in
+// parallel with each other; Enable returns a restore func to defer.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// Point names a fault-injection seam in the routing stack.
+type Point uint8
+
+const (
+	// Search fires inside the search expansion loop, at the cancellation
+	// poll cadence — the deepest seam, inside any per-net recover guard.
+	Search Point = iota
+	// RouteNet fires at the top of an isolated per-net route (the router
+	// worker pool and every negotiator rip go through it).
+	RouteNet
+	// Reroute fires in the negotiator's rip step, before the net is
+	// rerouted (the net is already out of the live map; an injected fault
+	// splices it back).
+	Reroute
+	// Commit fires in Edit.Commit after validation, before the repaired
+	// state is installed.
+	Commit
+)
+
+// String names the point for injected-error messages.
+func (p Point) String() string {
+	switch p {
+	case Search:
+		return "search"
+	case RouteNet:
+		return "routenet"
+	case Reroute:
+		return "reroute"
+	case Commit:
+		return "commit"
+	}
+	return fmt.Sprintf("point(%d)", uint8(p))
+}
+
+// Fault is a hook's verdict for one Fire call.
+type Fault uint8
+
+const (
+	// None lets the seam proceed normally.
+	None Fault = iota
+	// Error makes Fire return an error wrapping ErrInjected.
+	Error
+	// Panic makes Fire panic (exercising the recover guards).
+	Panic
+)
+
+// Site identifies one Fire call: the seam and a label (typically the net
+// name), so hooks can target a specific victim.
+type Site struct {
+	Point Point
+	Label string
+}
+
+// Hook inspects a site and picks the fault to inject.
+type Hook func(Site) Fault
+
+// ErrInjected is the sentinel every injected error wraps.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+var hook atomic.Pointer[Hook]
+
+// Enabled reports whether a hook is installed.
+func Enabled() bool { return hook.Load() != nil }
+
+// Enable installs the hook and returns a restore func that removes it.
+// Tests defer the restore; installing a hook while another is active
+// replaces it (the restore funcs clear unconditionally).
+func Enable(h Hook) (restore func()) {
+	hook.Store(&h)
+	return func() { hook.Store(nil) }
+}
+
+// Fire consults the installed hook at a seam. It returns nil (proceed), an
+// error wrapping ErrInjected, or panics, per the hook's verdict. With no
+// hook installed it is a single atomic load.
+func Fire(p Point, label string) error {
+	h := hook.Load()
+	if h == nil {
+		return nil
+	}
+	switch (*h)(Site{Point: p, Label: label}) {
+	case Error:
+		return fmt.Errorf("%w at %v %q", ErrInjected, p, label)
+	case Panic:
+		panic(fmt.Sprintf("faultinject: injected panic at %v %q", p, label))
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestFireDisabledIsNil(t *testing.T) {
+	if Enabled() {
+		t.Fatal("hook installed at test start")
+	}
+	for _, p := range []Point{Search, RouteNet, Reroute, Commit} {
+		if err := Fire(p, "any"); err != nil {
+			t.Fatalf("Fire(%v) with no hook = %v", p, err)
+		}
+	}
+}
+
+func TestFireTargetedError(t *testing.T) {
+	defer Enable(func(s Site) Fault {
+		if s.Point == Reroute && s.Label == "victim" {
+			return Error
+		}
+		return None
+	})()
+	if err := Fire(Reroute, "bystander"); err != nil {
+		t.Fatalf("untargeted site errored: %v", err)
+	}
+	if err := Fire(Commit, "victim"); err != nil {
+		t.Fatalf("wrong seam errored: %v", err)
+	}
+	err := Fire(Reroute, "victim")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	for _, want := range []string{"reroute", "victim"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not name %q", err, want)
+		}
+	}
+}
+
+func TestFirePanic(t *testing.T) {
+	defer Enable(func(Site) Fault { return Panic })()
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("Fire did not panic")
+		}
+		if s, ok := v.(string); !ok || !strings.Contains(s, "injected panic") {
+			t.Fatalf("panic value = %v", v)
+		}
+	}()
+	Fire(Search, "n0")
+}
+
+func TestRestoreDisarms(t *testing.T) {
+	restore := Enable(func(Site) Fault { return Error })
+	if !Enabled() {
+		t.Fatal("Enable did not install the hook")
+	}
+	if err := Fire(Search, "x"); err == nil {
+		t.Fatal("armed hook injected nothing")
+	}
+	restore()
+	if Enabled() {
+		t.Fatal("restore left the hook installed")
+	}
+	if err := Fire(Search, "x"); err != nil {
+		t.Fatalf("Fire after restore = %v", err)
+	}
+}
+
+func TestPointString(t *testing.T) {
+	for p, want := range map[Point]string{
+		Search:   "search",
+		RouteNet: "routenet",
+		Reroute:  "reroute",
+		Commit:   "commit",
+		Point(9): "point(9)",
+	} {
+		if got := p.String(); got != want {
+			t.Errorf("Point(%d).String() = %q, want %q", uint8(p), got, want)
+		}
+	}
+}

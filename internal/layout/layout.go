@@ -233,6 +233,19 @@ func (g *cellGeom) obstacles() []geom.Rect {
 	return g.obst
 }
 
+// NormalizeBoxes fills in the bounding box of bare-polygon cells, exactly
+// as Validate does, without running the placement checks. Snapshot loading
+// uses it so a layout hash taken over an unvalidated layout is comparable
+// to one taken over its validated twin.
+func (l *Layout) NormalizeBoxes() {
+	for i := range l.Cells {
+		c := &l.Cells[i]
+		if len(c.Poly) > 0 && c.Box == (geom.Rect{}) {
+			c.Box = c.Polygon().Bounds()
+		}
+	}
+}
+
 // Validate checks the paper's placement restrictions and basic
 // well-formedness. It returns the first violation found, or nil.
 func (l *Layout) Validate() error {

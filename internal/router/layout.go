@@ -2,8 +2,10 @@ package router
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -24,6 +26,11 @@ type LayoutResult struct {
 	Stats search.Stats
 	// Elapsed is the wall-clock routing time.
 	Elapsed time.Duration
+	// Panics collects per-net panics recovered by the worker pool (sorted
+	// by net name, so the report is worker-count independent). A panicked
+	// net is listed in Failed with a well-formed not-Found route; the rest
+	// of the run completes normally.
+	Panics []*PanicError
 }
 
 // Finalize recomputes the aggregate fields (TotalLength, Failed, Stats)
@@ -71,10 +78,11 @@ func (r *Router) RouteLayoutCtx(ctx context.Context, l *layout.Layout, workers i
 	for i := range nets {
 		nets[i] = i
 	}
-	err := r.routeInto(ctx, l, nets, workers, res.Nets)
+	panics, err := r.routeInto(ctx, l, nets, workers, res.Nets)
 	if err != nil && ctx.Err() == nil {
 		return nil, err
 	}
+	res.Panics = panics
 	res.Finalize(start)
 	return res, err
 }
@@ -98,9 +106,14 @@ func (r *Router) RouteNetsCtx(ctx context.Context, l *layout.Layout, nets []int,
 		}
 	}
 	out := make([]NetRoute, len(nets))
-	err := r.routeInto(ctx, l, nets, workers, out)
+	panics, err := r.routeInto(ctx, l, nets, workers, out)
 	if err != nil && ctx.Err() == nil {
 		return nil, err
+	}
+	if err == nil && len(panics) > 0 {
+		// The slice has no home for recovered panics, so the first one is
+		// the call's error; every non-panicking net still routed.
+		return out, panics[0]
 	}
 	return out, err
 }
@@ -108,28 +121,39 @@ func (r *Router) RouteNetsCtx(ctx context.Context, l *layout.Layout, nets []int,
 // routeInto routes l.Nets[nets[k]] into out[k] for every k, sequentially for
 // workers == 1 and over a worker pool otherwise. Every slot is prefilled
 // with its net's name so a cancelled run leaves well-formed not-Found
-// entries rather than zero values. On error the pool drains promptly: the
-// producer stops enqueuing and workers skip remaining jobs, so no route is
-// silently left zero-valued behind a reported success.
-func (r *Router) routeInto(ctx context.Context, l *layout.Layout, nets []int, workers int, out []NetRoute) error {
+// entries rather than zero values. Per-net panics are recovered
+// (routeNetGuarded) and collected rather than treated as errors: the
+// poisoned net keeps its not-Found slot and the rest of the run completes —
+// identically for any worker count, which is why the sequential path guards
+// too. On any other error the pool drains promptly: the producer stops
+// enqueuing and workers skip remaining jobs, so no route is silently left
+// zero-valued behind a reported success.
+func (r *Router) routeInto(ctx context.Context, l *layout.Layout, nets []int, workers int, out []NetRoute) ([]*PanicError, error) {
 	for k, ni := range nets {
 		out[k] = NetRoute{Net: l.Nets[ni].Name}
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	var panics []*PanicError
 	if workers == 1 || len(nets) <= 1 {
 		for k, ni := range nets {
 			if err := ctx.Err(); err != nil {
-				return err
+				return panics, err
 			}
-			nr, err := r.RouteNetCtx(ctx, &l.Nets[ni])
+			nr, err := r.routeNetGuarded(ctx, &l.Nets[ni])
+			var pe *PanicError
+			if errors.As(err, &pe) {
+				panics = append(panics, pe)
+				continue
+			}
 			if err != nil {
-				return err
+				return panics, err
 			}
 			out[k] = nr
 		}
-		return nil
+		sortPanics(panics)
+		return panics, nil
 	}
 	var (
 		wg       sync.WaitGroup
@@ -150,7 +174,14 @@ func (r *Router) routeInto(ctx context.Context, l *layout.Layout, nets []int, wo
 				if failed() || ctx.Err() != nil {
 					continue // drain without routing once any worker erred
 				}
-				nr, err := r.RouteNetCtx(ctx, &l.Nets[nets[k]])
+				nr, err := r.routeNetGuarded(ctx, &l.Nets[nets[k]])
+				var pe *PanicError
+				if errors.As(err, &pe) {
+					mu.Lock()
+					panics = append(panics, pe)
+					mu.Unlock()
+					continue
+				}
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -171,8 +202,15 @@ func (r *Router) routeInto(ctx context.Context, l *layout.Layout, nets []int, wo
 	}
 	close(jobs)
 	wg.Wait()
+	sortPanics(panics)
 	if firstErr != nil {
-		return firstErr
+		return panics, firstErr
 	}
-	return ctx.Err()
+	return panics, ctx.Err()
+}
+
+// sortPanics orders recovered panics by net name so reports are
+// deterministic regardless of worker scheduling.
+func sortPanics(panics []*PanicError) {
+	sort.Slice(panics, func(i, j int) bool { return panics[i].Net < panics[j].Net })
 }

@@ -22,9 +22,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"sync"
 
+	"repro/internal/faultinject"
 	"repro/internal/geom"
 	"repro/internal/layout"
 	"repro/internal/plane"
@@ -101,6 +103,44 @@ var (
 	// ErrOutOfBounds marks a query endpoint outside the routing area.
 	ErrOutOfBounds = errors.New("router: endpoint outside routing bounds")
 )
+
+// PanicError is a goroutine panic recovered during the routing of one net
+// and converted into a per-net error: the worker pool and the negotiator's
+// rip-up loop isolate a poisoned net instead of letting it unwind a
+// whole-layout run.
+type PanicError struct {
+	// Net names the net whose routing panicked.
+	Net string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack, captured at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("router: net %q: routing panicked: %v", e.Net, e.Value)
+}
+
+// RecoverNetPanic is the shared per-net recover guard: deferred around a
+// single-net route, it converts a panic into a not-Found NetRoute and a
+// *PanicError carrying the stack. It must be called directly by defer.
+func RecoverNetPanic(net string, nr *NetRoute, err *error) {
+	if v := recover(); v != nil {
+		*nr = NetRoute{Net: net}
+		*err = &PanicError{Net: net, Value: v, Stack: debug.Stack()}
+	}
+}
+
+// routeNetGuarded routes one net with panic isolation and the per-net
+// fault-injection seam — the entry the worker pool uses, so one poisoned
+// net surfaces as a *PanicError instead of killing the process.
+func (r *Router) routeNetGuarded(ctx context.Context, net *layout.Net) (nr NetRoute, err error) {
+	defer RecoverNetPanic(net.Name, &nr, &err)
+	if ferr := faultinject.Fire(faultinject.RouteNet, net.Name); ferr != nil {
+		return NetRoute{Net: net.Name}, ferr
+	}
+	return r.RouteNetCtx(ctx, net)
+}
 
 // searchCtxPool recycles search contexts (node arena, OPEN heap, state
 // table) across connection queries. Every worker goroutine of

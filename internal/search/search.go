@@ -24,6 +24,8 @@ package search
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/faultinject"
 )
 
 // Cost is the additive edge/path cost type. Costs must be non-negative; the
@@ -449,9 +451,15 @@ func findOrdered[S comparable](ctx *Context[S], p Problem[S], opts Options) (Res
 	}
 
 	for len(ctx.open) > 0 {
-		if stats.Expanded&cancelPollMask == 0 && cancelled(opts.Done) {
-			res.Stats = stats
-			return res, ErrCancelled
+		if stats.Expanded&cancelPollMask == 0 {
+			if cancelled(opts.Done) {
+				res.Stats = stats
+				return res, ErrCancelled
+			}
+			if err := faultinject.Fire(faultinject.Search, ""); err != nil {
+				res.Stats = stats
+				return res, err
+			}
 		}
 		if len(ctx.open) > stats.MaxOpen {
 			stats.MaxOpen = len(ctx.open)
@@ -553,9 +561,15 @@ func findBlind[S comparable](ctx *Context[S], p Problem[S], opts Options) (Resul
 	// In blind search the goal test happens at generation time for BFS
 	// (first path found is fewest-edges) and at expansion time for DFS.
 	for head < len(ctx.open) {
-		if stats.Expanded&cancelPollMask == 0 && cancelled(opts.Done) {
-			res.Stats = stats
-			return res, ErrCancelled
+		if stats.Expanded&cancelPollMask == 0 {
+			if cancelled(opts.Done) {
+				res.Stats = stats
+				return res, ErrCancelled
+			}
+			if err := faultinject.Fire(faultinject.Search, ""); err != nil {
+				res.Stats = stats
+				return res, err
+			}
 		}
 		if live := len(ctx.open) - head; live > stats.MaxOpen {
 			stats.MaxOpen = live

@@ -1,0 +1,46 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzSnapshotDecode is the fail-closed contract for the decoders: arbitrary
+// bytes must produce either a successful decode or one of the typed errors —
+// never a panic, and never an untyped error a caller could not classify.
+// (The fuzz harness itself converts panics into failures.)
+func FuzzSnapshotDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(magic))
+	f.Add([]byte("GRSNAPxxxxxxxxxxxxxxxxxxxxxxxx"))
+	var buf bytes.Buffer
+	if err := EncodeSession(&buf, fixtureSession()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	buf.Reset()
+	if err := EncodeCheckpoint(&buf, fixtureCheckpoint()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if _, err := DecodeSession(bytes.NewReader(data)); err != nil {
+			checkTyped(t, err)
+		}
+		if _, err := DecodeCheckpoint(bytes.NewReader(data)); err != nil {
+			checkTyped(t, err)
+		}
+	})
+}
+
+func checkTyped(t *testing.T, err error) {
+	t.Helper()
+	for _, typed := range []error{ErrFormat, ErrVersion, ErrKind, ErrChecksum, ErrCorrupt} {
+		if errors.Is(err, typed) {
+			return
+		}
+	}
+	t.Fatalf("decode error %v is not one of the typed snapshot errors", err)
+}

@@ -1,0 +1,332 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+
+	"repro/internal/congest"
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/router"
+	"repro/internal/search"
+)
+
+// fixtureSession builds a routed session snapshot with every field class
+// populated: passages, found and failed nets, multi-segment paths, history.
+func fixtureSession() *Session {
+	return &Session{
+		LayoutHash: 0xdeadbeefcafe,
+		Pitch:      4,
+		Passages: []congest.Passage{
+			{Between: [2]int{0, 1}, Rect: geom.R(10, 0, 20, 50), Vertical: true, Width: 10, Capacity: 2},
+			{Between: [2]int{congest.Boundary, 0}, Rect: geom.R(0, 0, 10, 50), Width: 10, Capacity: 2},
+		},
+		Routed: true,
+		Nets: []router.NetRoute{
+			{
+				Found:  true,
+				Length: 12,
+				Stats:  search.Stats{Expanded: 3, Generated: 7, Reopened: 1, MaxOpen: 4},
+				Paths:  [][]geom.Point{{geom.Pt(0, 0), geom.Pt(5, 0), geom.Pt(5, 7)}},
+				Segments: []geom.Seg{
+					geom.S(geom.Pt(0, 0), geom.Pt(5, 0)),
+					geom.S(geom.Pt(5, 0), geom.Pt(5, 7)),
+				},
+			},
+			{Found: false, FailedTerminal: "t1"},
+		},
+		History: []int{2, 0},
+	}
+}
+
+func fixtureCheckpoint() *CheckpointFile {
+	return &CheckpointFile{
+		LayoutHash: 42,
+		Pitch:      2,
+		CP: congest.Checkpoint{
+			PassesRecorded: 2,
+			ReroutePass:    2,
+			History:        []int{1, 0, 3},
+			Nets: []router.NetRoute{
+				{Found: true, Length: 4, Paths: [][]geom.Point{{geom.Pt(0, 0), geom.Pt(4, 0)}},
+					Segments: []geom.Seg{geom.S(geom.Pt(0, 0), geom.Pt(4, 0))}},
+				{Found: true, Length: 6, Paths: [][]geom.Point{{geom.Pt(0, 2), geom.Pt(6, 2)}},
+					Segments: []geom.Seg{geom.S(geom.Pt(0, 2), geom.Pt(6, 2))}},
+			},
+			InPass:     true,
+			Changed:    true,
+			Ripped:     []bool{true, false},
+			Initial:    []int{0, 1},
+			InitialPos: 1,
+			Rerouted:   []string{"a"},
+		},
+	}
+}
+
+func TestSessionRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		s    *Session
+	}{
+		{"routed", fixtureSession()},
+		{"prepared-only", &Session{LayoutHash: 7, Pitch: 8,
+			Passages: []congest.Passage{{Between: [2]int{0, 1}, Rect: geom.R(0, 0, 4, 4), Width: 4, Capacity: 1}}}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := EncodeSession(&buf, tc.s); err != nil {
+				t.Fatal(err)
+			}
+			got, err := DecodeSession(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.LayoutHash != tc.s.LayoutHash || got.Pitch != tc.s.Pitch || got.Routed != tc.s.Routed {
+				t.Fatalf("header fields differ: %+v vs %+v", got, tc.s)
+			}
+			if len(got.Passages) != len(tc.s.Passages) {
+				t.Fatalf("passages %d, want %d", len(got.Passages), len(tc.s.Passages))
+			}
+			for i := range got.Passages {
+				if got.Passages[i] != tc.s.Passages[i] {
+					t.Fatalf("passage %d = %+v, want %+v", i, got.Passages[i], tc.s.Passages[i])
+				}
+			}
+			if len(got.Nets) != len(tc.s.Nets) {
+				t.Fatalf("nets %d, want %d", len(got.Nets), len(tc.s.Nets))
+			}
+			for i := range got.Nets {
+				checkNetRoute(t, &got.Nets[i], &tc.s.Nets[i])
+			}
+			if len(got.History) != len(tc.s.History) {
+				t.Fatalf("history %v, want %v", got.History, tc.s.History)
+			}
+		})
+	}
+}
+
+// checkNetRoute compares a decoded route to the original: everything except
+// the Net name (positional, filled by the loader) must round-trip, with
+// Segments rebuilt from Paths.
+func checkNetRoute(t *testing.T, got, want *router.NetRoute) {
+	t.Helper()
+	if got.Found != want.Found || got.FailedTerminal != want.FailedTerminal ||
+		got.Length != want.Length || got.Stats != want.Stats {
+		t.Fatalf("route fields = %+v, want %+v", got, want)
+	}
+	if len(got.Paths) != len(want.Paths) {
+		t.Fatalf("paths %d, want %d", len(got.Paths), len(want.Paths))
+	}
+	for i := range got.Paths {
+		if len(got.Paths[i]) != len(want.Paths[i]) {
+			t.Fatalf("path %d length differs", i)
+		}
+		for j := range got.Paths[i] {
+			if got.Paths[i][j] != want.Paths[i][j] {
+				t.Fatalf("path %d point %d = %v, want %v", i, j, got.Paths[i][j], want.Paths[i][j])
+			}
+		}
+	}
+	if len(got.Segments) != len(want.Segments) {
+		t.Fatalf("segments %v, want %v (rebuilt from paths)", got.Segments, want.Segments)
+	}
+	for i := range got.Segments {
+		if got.Segments[i] != want.Segments[i] {
+			t.Fatalf("segment %d = %v, want %v", i, got.Segments[i], want.Segments[i])
+		}
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	cf := fixtureCheckpoint()
+	var buf bytes.Buffer
+	if err := EncodeCheckpoint(&buf, cf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LayoutHash != cf.LayoutHash || got.Pitch != cf.Pitch {
+		t.Fatalf("identity = (%d, %d), want (%d, %d)", got.LayoutHash, got.Pitch, cf.LayoutHash, cf.Pitch)
+	}
+	g, w := &got.CP, &cf.CP
+	if g.PassesRecorded != w.PassesRecorded || g.ReroutePass != w.ReroutePass ||
+		g.InPass != w.InPass || g.Changed != w.Changed || g.InitialPos != w.InitialPos {
+		t.Fatalf("scalars = %+v, want %+v", g, w)
+	}
+	for i := range g.Nets {
+		checkNetRoute(t, &g.Nets[i], &w.Nets[i])
+	}
+	for i, r := range g.Ripped {
+		if r != w.Ripped[i] {
+			t.Fatalf("ripped[%d] = %v", i, r)
+		}
+	}
+	for i, ni := range g.Initial {
+		if ni != w.Initial[i] {
+			t.Fatalf("initial[%d] = %d", i, ni)
+		}
+	}
+	for i, name := range g.Rerouted {
+		if name != w.Rerouted[i] {
+			t.Fatalf("rerouted[%d] = %q", i, name)
+		}
+	}
+	for i, h := range g.History {
+		if h != w.History[i] {
+			t.Fatalf("history[%d] = %d", i, h)
+		}
+	}
+}
+
+// sessionBytes returns a valid encoded session frame for tampering tests.
+func sessionBytes(t testing.TB) []byte {
+	var buf bytes.Buffer
+	if err := EncodeSession(&buf, fixtureSession()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestDecodeTypedErrors(t *testing.T) {
+	valid := sessionBytes(t)
+
+	t.Run("not-a-snapshot", func(t *testing.T) {
+		if _, err := DecodeSession(bytes.NewReader([]byte("definitely not a snapshot"))); !errors.Is(err, ErrFormat) {
+			t.Fatalf("err = %v, want ErrFormat", err)
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		if _, err := DecodeSession(bytes.NewReader(nil)); !errors.Is(err, ErrFormat) {
+			t.Fatalf("err = %v, want ErrFormat", err)
+		}
+	})
+	t.Run("version-skew", func(t *testing.T) {
+		b := append([]byte(nil), valid...)
+		binary.LittleEndian.PutUint16(b[len(magic):], Version+1)
+		if _, err := DecodeSession(bytes.NewReader(b)); !errors.Is(err, ErrVersion) {
+			t.Fatalf("err = %v, want ErrVersion", err)
+		}
+	})
+	t.Run("wrong-kind", func(t *testing.T) {
+		if _, err := DecodeCheckpoint(bytes.NewReader(valid)); !errors.Is(err, ErrKind) {
+			t.Fatalf("err = %v, want ErrKind", err)
+		}
+	})
+	t.Run("bit-rot", func(t *testing.T) {
+		b := append([]byte(nil), valid...)
+		b[headerLen+3] ^= 0x40 // flip a payload bit; CRC must catch it
+		if _, err := DecodeSession(bytes.NewReader(b)); !errors.Is(err, ErrChecksum) {
+			t.Fatalf("err = %v, want ErrChecksum", err)
+		}
+	})
+	t.Run("truncated-payload", func(t *testing.T) {
+		b := valid[:len(valid)-8]
+		if _, err := DecodeSession(bytes.NewReader(b)); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("checksummed-garbage", func(t *testing.T) {
+		// A correctly framed, correctly checksummed payload of garbage must
+		// fail as corrupt, not panic or mis-decode.
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, kindSession, bytes.Repeat([]byte{0xff}, 64)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodeSession(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("trailing-garbage-in-payload", func(t *testing.T) {
+		// Extend the payload with extra bytes and re-frame with a valid CRC:
+		// the decoder must reject the leftovers.
+		payload := append(append([]byte(nil), valid[headerLen:len(valid)-4]...), 0, 0, 0)
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, kindSession, payload); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodeSession(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("forged-huge-length", func(t *testing.T) {
+		// A forged payload length far beyond the actual input must fail on
+		// truncation, without allocating the forged size first.
+		b := append([]byte(nil), valid[:headerLen]...)
+		binary.LittleEndian.PutUint64(b[len(magic)+3:], maxPayload)
+		b = append(b, valid[headerLen:]...)
+		if _, err := DecodeSession(bytes.NewReader(b)); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("diagonal-path", func(t *testing.T) {
+		// A checksum-valid payload whose path steps diagonally must be
+		// rejected (the geometry layer would panic on it).
+		s := fixtureSession()
+		s.Nets[0].Paths = [][]geom.Point{{geom.Pt(0, 0), geom.Pt(5, 7)}}
+		s.Nets[0].Segments = nil
+		var buf bytes.Buffer
+		if err := EncodeSession(&buf, s); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodeSession(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+	})
+}
+
+func TestLayoutHashDiscriminates(t *testing.T) {
+	base := func() *layout.Layout {
+		return &layout.Layout{
+			Name:   "chip",
+			Bounds: geom.R(0, 0, 100, 100),
+			Cells:  []layout.Cell{{Name: "a", Box: geom.R(10, 10, 30, 30)}},
+			Nets: []layout.Net{{Name: "n0", Terminals: []layout.Terminal{
+				{Name: "t", Pins: []layout.Pin{{Name: "p", Pos: geom.Pt(5, 5), Cell: layout.NoCell}}},
+			}}},
+		}
+	}
+	h0 := LayoutHash(base())
+	if h1 := LayoutHash(base()); h1 != h0 {
+		t.Fatalf("identical layouts hash %x vs %x", h0, h1)
+	}
+	mutations := []func(l *layout.Layout){
+		func(l *layout.Layout) { l.Cells[0].Box = geom.R(11, 10, 31, 30) }, // cell moved
+		func(l *layout.Layout) { l.Nets[0].Name = "renamed" },
+		func(l *layout.Layout) { l.Bounds = geom.R(0, 0, 101, 100) },
+		func(l *layout.Layout) { l.Nets[0].Terminals[0].Pins[0].Pos = geom.Pt(5, 6) },
+		func(l *layout.Layout) { l.Cells = append(l.Cells, layout.Cell{Name: "b", Box: geom.R(50, 50, 60, 60)}) },
+	}
+	for i, mutate := range mutations {
+		l := base()
+		mutate(l)
+		if LayoutHash(l) == h0 {
+			t.Errorf("mutation %d does not change the hash", i)
+		}
+	}
+}
+
+// TestCRCGuardsEveryPayloadByte flips each payload byte in turn: every flip
+// must surface as a typed error (almost always ErrChecksum), never a
+// silently different decode.
+func TestCRCGuardsEveryPayloadByte(t *testing.T) {
+	valid := sessionBytes(t)
+	for i := headerLen; i < len(valid)-4; i++ {
+		b := append([]byte(nil), valid...)
+		b[i] ^= 0x01
+		if _, err := DecodeSession(bytes.NewReader(b)); !errors.Is(err, ErrChecksum) {
+			t.Fatalf("payload byte %d flipped: err = %v, want ErrChecksum", i, err)
+		}
+	}
+	// And a flipped checksum byte too.
+	b := append([]byte(nil), valid...)
+	b[len(b)-1] ^= 0x01
+	if _, err := DecodeSession(bytes.NewReader(b)); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("flipped CRC byte: err = %v, want ErrChecksum", err)
+	}
+	_ = crc32.ChecksumIEEE // keep the import honest about what we are testing
+}
