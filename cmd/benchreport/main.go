@@ -6,6 +6,7 @@
 //
 //	go test -run=NONE -bench=. -benchmem . | go run ./cmd/benchreport -n 2
 //	go run ./cmd/benchreport -in bench.txt -o BENCH_2.json
+//	go run ./cmd/benchreport -in bench.txt -json artifacts/daemon-smoke.json
 //	go run ./cmd/benchreport -in bench.txt \
 //	    -require 'BenchmarkNegotiatedCongestion/MacroGrid16/workers1:overflow/op=0'
 //
@@ -65,8 +66,9 @@ func (r *requireList) Set(v string) error { *r = append(*r, v); return nil }
 func main() {
 	var (
 		in       = flag.String("in", "", "bench output file (default stdin)")
-		n        = flag.Int("n", -1, "write BENCH_<n>.json instead of stdout")
+		n        = flag.Int("n", -1, "write BENCH_<n>.json in the CWD instead of stdout")
 		out      = flag.String("o", "", "output file (overrides -n)")
+		jsonOut  = flag.String("json", "", "JSON output path, directories allowed (overrides -o and -n)")
 		ind      = flag.Bool("indent", true, "indent the JSON")
 		requires requireList
 	)
@@ -94,10 +96,7 @@ func main() {
 	}
 
 	dst := os.Stdout
-	path := *out
-	if path == "" && *n >= 0 {
-		path = fmt.Sprintf("BENCH_%d.json", *n)
-	}
+	path := outputPath(*jsonOut, *out, *n)
 	if path != "" {
 		f, err := os.Create(path)
 		if err != nil {
@@ -122,6 +121,21 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// outputPath resolves the destination precedence: -json (any path, so CI
+// can write into an artifact directory), then -o, then the numbered
+// BENCH_<n>.json convention, then stdout ("").
+func outputPath(jsonOut, out string, n int) string {
+	switch {
+	case jsonOut != "":
+		return jsonOut
+	case out != "":
+		return out
+	case n >= 0:
+		return fmt.Sprintf("BENCH_%d.json", n)
+	}
+	return ""
 }
 
 // Check evaluates 'BenchmarkName:metric=value' requirements — with <= and

@@ -104,3 +104,20 @@ ok  	repro	2.153s
 		}
 	}
 }
+
+func TestOutputPathPrecedence(t *testing.T) {
+	for _, tc := range []struct {
+		jsonOut, out string
+		n            int
+		want         string
+	}{
+		{"art/daemon.json", "other.json", 2, "art/daemon.json"}, // -json wins
+		{"", "other.json", 2, "other.json"},                     // then -o
+		{"", "", 2, "BENCH_2.json"},                             // then -n
+		{"", "", -1, ""},                                        // stdout
+	} {
+		if got := outputPath(tc.jsonOut, tc.out, tc.n); got != tc.want {
+			t.Errorf("outputPath(%q, %q, %d) = %q, want %q", tc.jsonOut, tc.out, tc.n, got, tc.want)
+		}
+	}
+}

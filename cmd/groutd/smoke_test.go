@@ -1,0 +1,242 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// BenchmarkDaemonSmoke is the CI smoke for the real binary: build groutd,
+// serve a 32×32 macro session under concurrent routes, SIGTERM mid-flight
+// — the readiness flip is observable in the grace window while liveness
+// stays green, the in-flight negotiation completes, and the process drains
+// to exit 0 — then restart over the same snapshot directory and verify both
+// sessions warm-start. The warm-vs-cold prepare ratio is measured on a
+// 64×64 session, where preparation (validate + passage extraction) is heavy
+// enough to dominate the snapshot decode; CI gates it with
+// `benchreport -require '...:warm-vs-cold-pct<=10'`.
+//
+// Run as: go test -run=NONE -bench=DaemonSmoke -benchtime=1x ./cmd/groutd
+func BenchmarkDaemonSmoke(b *testing.B) {
+	if testing.Short() {
+		b.Skip("daemon smoke builds and runs the binary")
+	}
+	dir := b.TempDir()
+	bin := filepath.Join(dir, "groutd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		b.Fatalf("building groutd: %v\n%s", err, out)
+	}
+	snapdir := filepath.Join(dir, "snapshots")
+
+	l, err := genroute.MacroGrid(32, 32, 40, 30, 12, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var layoutJSON bytes.Buffer
+	if err := genroute.WriteLayout(&layoutJSON, l); err != nil {
+		b.Fatal(err)
+	}
+	big, err := genroute.MacroGrid(64, 64, 40, 30, 12, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var bigJSON bytes.Buffer
+	if err := genroute.WriteLayout(&bigJSON, big); err != nil {
+		b.Fatal(err)
+	}
+
+	for i := 0; i < b.N; i++ {
+		runDaemonSmoke(b, bin, snapdir, l, layoutJSON.Bytes(), bigJSON.Bytes())
+	}
+}
+
+func runDaemonSmoke(b *testing.B, bin, snapdir string, l *genroute.Layout, layoutJSON, bigJSON []byte) {
+	os.RemoveAll(snapdir)
+
+	// Cold daemon: prepare both sessions and serve concurrent routes.
+	d := startDaemon(b, bin, snapdir)
+	cold := smokeCreateSession(b, d, layoutJSON, "pitch=8&weight=40&passes=2")
+	if cold.Warm || !cold.Created {
+		b.Fatalf("first create = %+v, want a cold build", cold)
+	}
+	coldBig := smokeCreateSession(b, d, bigJSON, "pitch=8")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(net string) {
+			defer wg.Done()
+			var rr struct {
+				Found bool `json:"found"`
+			}
+			code := smokePost(b, d.url("/v1/sessions/"+cold.Hash+"/route"),
+				[]byte(fmt.Sprintf(`{"net":%q}`, net)), &rr)
+			if code != http.StatusOK || !rr.Found {
+				b.Errorf("concurrent route %s = %d found=%v", net, code, rr.Found)
+			}
+		}(l.Nets[i*7].Name)
+	}
+	wg.Wait()
+
+	// SIGTERM with a negotiation in flight: the flip shows on /readyz while
+	// /healthz stays green, and the in-flight request completes.
+	negDone := make(chan int, 1)
+	go func() {
+		var nr struct {
+			Partial bool `json:"partial"`
+		}
+		negDone <- smokePost(b, d.url("/v1/sessions/"+cold.Hash+"/negotiate"), []byte(`{}`), &nr)
+	}()
+	time.Sleep(100 * time.Millisecond) // let the negotiate enter the daemon
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		b.Fatal(err)
+	}
+	flipDeadline := time.Now().Add(2 * time.Second)
+	for {
+		if code := smokeGet(b, d.url("/readyz")); code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(flipDeadline) {
+			b.Fatal("readyz never flipped to 503 inside the grace window")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if code := smokeGet(b, d.url("/healthz")); code != http.StatusOK {
+		b.Fatalf("healthz during drain = %d, want 200 (liveness is not readiness)", code)
+	}
+	if code := <-negDone; code != http.StatusOK {
+		b.Fatalf("in-flight negotiate across the drain = %d, want 200", code)
+	}
+	if err := d.cmd.Wait(); err != nil {
+		b.Fatalf("daemon exited non-zero after graceful drain: %v", err)
+	}
+
+	// Warm restart over the same snapshot directory.
+	d2 := startDaemon(b, bin, snapdir)
+	warmBig := smokeCreateSession(b, d2, bigJSON, "pitch=8")
+	if !warmBig.Warm || !warmBig.Created {
+		b.Fatalf("restart create (64×64) = %+v, want a warm start", warmBig)
+	}
+	warm := smokeCreateSession(b, d2, layoutJSON, "pitch=8&weight=40&passes=2")
+	if !warm.Warm || !warm.Created {
+		b.Fatalf("restart create (32×32) = %+v, want a warm start", warm)
+	}
+	var rr struct {
+		Found bool `json:"found"`
+	}
+	if code := smokePost(b, d2.url("/v1/sessions/"+warm.Hash+"/route"),
+		[]byte(fmt.Sprintf(`{"net":%q}`, l.Nets[0].Name)), &rr); code != http.StatusOK || !rr.Found {
+		b.Fatalf("first route after warm restart = %d found=%v", code, rr.Found)
+	}
+	d2.cmd.Process.Signal(syscall.SIGTERM)
+	d2.cmd.Wait()
+
+	b.ReportMetric(coldBig.PrepareMS, "cold-prepare-ms")
+	b.ReportMetric(warmBig.PrepareMS, "warm-prepare-ms")
+	b.ReportMetric(100*warmBig.PrepareMS/coldBig.PrepareMS, "warm-vs-cold-pct")
+}
+
+// daemon is one running groutd subprocess with its parsed listen address.
+type daemon struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+func (d *daemon) url(path string) string { return "http://" + d.addr + path }
+
+// startDaemon launches the built binary on an ephemeral port and parses the
+// bound address from its "groutd listening on" log line.
+func startDaemon(b *testing.B, bin, snapdir string) *daemon {
+	b.Helper()
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-snapshots", snapdir,
+		"-drain", "120s",
+		"-readyz-grace", "2s")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if _, a, ok := strings.Cut(line, "groutd listening on "); ok {
+				select {
+				case addrc <- a:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrc:
+		return &daemon{cmd: cmd, addr: addr}
+	case <-time.After(30 * time.Second):
+		b.Fatal("daemon never logged its listen address")
+		return nil
+	}
+}
+
+type smokeSession struct {
+	Hash      string  `json:"hash"`
+	Created   bool    `json:"created"`
+	Warm      bool    `json:"warm"`
+	PrepareMS float64 `json:"prepare_ms"`
+}
+
+func smokeCreateSession(b *testing.B, d *daemon, layoutJSON []byte, query string) smokeSession {
+	b.Helper()
+	var sr smokeSession
+	code := smokePost(b, d.url("/v1/sessions?"+query), layoutJSON, &sr)
+	if code != http.StatusCreated {
+		b.Fatalf("create session = %d %+v, want 201", code, sr)
+	}
+	return sr
+}
+
+func smokePost(b *testing.B, url string, body []byte, out any) int {
+	b.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			b.Fatalf("POST %s: decoding response: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func smokeGet(b *testing.B, url string) int {
+	b.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0 // listener gone — the caller's deadline decides
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}

@@ -18,6 +18,10 @@
 // partial per-pass report and exits 1. Rerunning with -resume continues
 // from the checkpoint and produces routes byte-identical to an
 // uninterrupted run.
+//
+// Exit codes: 0 success, 1 failure or interruption, 2 usage, 3 the report
+// contains DEGRADED (panic-poisoned) nets — pass -degraded-ok to treat
+// degraded reports as success.
 package main
 
 import (
@@ -53,6 +57,7 @@ func main() {
 		tracks     = flag.Bool("tracks", false, "run detailed track assignment")
 		wires      = flag.Bool("wires", false, "print the routed segments")
 		draw       = flag.Bool("draw", false, "render the routed layout as ASCII art")
+		degradedOK = flag.Bool("degraded-ok", false, "exit 0 even when the report contains DEGRADED (panic-poisoned) nets")
 	)
 	flag.Parse()
 	if *input == "" {
@@ -173,6 +178,9 @@ func main() {
 				len(res.Passes), res.FinalMap().TotalOverflow())
 		}
 		report(l, res.Final(), *tracks, *wires, *draw)
+		if len(res.Panics) > 0 && !*degradedOK {
+			os.Exit(3)
+		}
 		return
 	}
 
@@ -190,7 +198,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if n := len(res.Panics); n > 0 {
+		fmt.Printf("DEGRADED: %d nets poisoned by routing panics (kept unrouted; see first below)\n%v\n",
+			n, res.Panics[0])
+	}
 	report(l, res, *tracks, *wires, *draw)
+	if len(res.Panics) > 0 && !*degradedOK {
+		os.Exit(3)
+	}
 }
 
 // report prints the routing summary, optional tracks and wires.

@@ -54,7 +54,9 @@ func (e *Engine) Edit() *Edit { return &Edit{e: e} }
 // netExists reports whether the staged view of the layout — the engine's
 // nets minus staged removals plus staged additions — contains name.
 func (tx *Edit) netExists(name string) bool {
+	tx.e.mu.RLock()
 	_, present := tx.e.netIdx[name]
+	tx.e.mu.RUnlock()
 	for _, op := range tx.ops {
 		switch {
 		case op.kind == opAddNet && op.net.Name == name:
@@ -112,6 +114,8 @@ func (tx *Edit) MoveCell(name string, dx, dy int64) error {
 	if tx.committed {
 		return fmt.Errorf("genroute: Edit already committed")
 	}
+	tx.e.mu.RLock()
+	defer tx.e.mu.RUnlock()
 	for i := range tx.e.l.Cells {
 		if tx.e.l.Cells[i].Name == name {
 			tx.ops = append(tx.ops, editOp{kind: opMoveCell, name: name, d: Pt(dx, dy)})
@@ -193,6 +197,8 @@ func (tx *Edit) Commit(ctx context.Context) (res *ECOResult, err error) {
 	if tx.committed {
 		return nil, fmt.Errorf("genroute: Edit already committed")
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.cur == nil {
 		return nil, errNotRouted("Edit.Commit")
 	}
@@ -415,7 +421,7 @@ func (tx *Edit) Commit(ctx context.Context) (res *ECOResult, err error) {
 	e.ix = ix2
 	e.spans = spans2
 	e.passages = passages2
-	e.lhash = 0 // layout changed; Save/checkpoints must re-fingerprint
+	e.lhash.Store(0) // layout changed; Save/checkpoints must re-fingerprint
 	if e.cfg.cornerRule {
 		e.cfg.opts.Cost = router.CornerCost{Ix: ix2}
 	}

@@ -3,6 +3,8 @@ package genroute
 import (
 	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/adjust"
 	"repro/internal/congest"
@@ -33,9 +35,34 @@ import (
 // congestion map and the accumulated overflow history — which is what
 // Edit.Commit repairs incrementally instead of routing from scratch.
 //
-// An Engine's methods must not be called concurrently (routing itself
-// parallelizes internally across WithWorkers).
+// # Concurrency
+//
+// An Engine is safe for concurrent use, under a readers–writer contract
+// enforced by an internal sync.RWMutex:
+//
+//   - Read-side methods — RouteNet, RoutePoints, Validate,
+//     CheckConnectivity, AssignTracks, AssignLayers, AdjustPlacement,
+//     Save, Routed, Result, Overflow — only observe the session state and
+//     may run concurrently with each other. This is the pattern a server
+//     relies on: many simultaneous RouteNet calls against one prepared
+//     session (per-net routing depends only on the obstacle geometry, so
+//     reads never contend on anything but the lock).
+//   - Write-side methods — RouteAll, RouteNegotiated, ResumeNegotiated and
+//     Edit.Commit — replace the session state and take the lock
+//     exclusively. A long negotiation therefore blocks concurrent reads on
+//     the same session until it completes or is cancelled; bound it with a
+//     context deadline if readers must not starve.
+//
+// The lock is not context-aware: a method waits for the lock before its
+// context is consulted. Layout returns an interior pointer and is exempt
+// from the contract — treat the value as read-only and do not call it
+// concurrently with Edit.Commit.
 type Engine struct {
+	// mu enforces the readers–writer contract above. State-replacing flows
+	// (RouteAll, RouteNegotiated, ResumeNegotiated, Edit.Commit) hold it
+	// exclusively; everything else reads under RLock.
+	mu sync.RWMutex
+
 	l   *Layout
 	cfg config
 	ix  *plane.Index
@@ -52,8 +79,10 @@ type Engine struct {
 	history []int
 
 	// lhash memoizes the layout fingerprint for Save and checkpoint writes
-	// (0 = not yet computed; ECO commits reset it).
-	lhash uint64
+	// (0 = not yet computed; ECO commits reset it). Atomic so concurrent
+	// readers (Save under RLock) can memoize without a data race; a
+	// duplicate compute is benign.
+	lhash atomic.Uint64
 }
 
 // NewEngine validates the layout (the paper's three placement restrictions
@@ -98,15 +127,25 @@ func (e *Engine) Layout() *Layout { return e.l }
 
 // Routed reports whether the session holds a whole-layout routing state
 // (set by RouteAll and RouteNegotiated, updated by Edit.Commit).
-func (e *Engine) Routed() bool { return e.cur != nil }
+func (e *Engine) Routed() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.cur != nil
+}
 
 // Result returns the session's current whole-layout routing state, or nil
 // before the first RouteAll/RouteNegotiated.
-func (e *Engine) Result() *Result { return e.cur }
+func (e *Engine) Result() *Result {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.cur
+}
 
 // Overflow returns the total passage overflow of the current routing state
 // (0 before the first whole-layout route).
 func (e *Engine) Overflow() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	if e.m == nil {
 		return 0
 	}
@@ -155,6 +194,8 @@ func passProgress(phase string, n int, p congest.Pass, total int) Progress {
 // partial result — every net either fully routed or still marked not-Found
 // — is installed and returned together with the context's error.
 func (e *Engine) RouteAll(ctx context.Context) (*Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	res, err := e.r.RouteLayoutCtx(ctx, e.l, e.cfg.workers)
 	if res == nil {
 		return nil, err
@@ -183,6 +224,8 @@ func (e *Engine) RouteAll(ctx context.Context) (*Result, error) {
 // with the context's error. With WithCheckpointFile, the run also persists
 // a restartable checkpoint that Engine.ResumeNegotiated can continue from.
 func (e *Engine) RouteNegotiated(ctx context.Context) (*NegotiatedResult, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	res, err := congest.NegotiatePrepared(ctx, e.l, e.ix, e.passages, e.negotiateConfig())
 	e.installNegotiated(res, err)
 	return res, err
@@ -191,6 +234,8 @@ func (e *Engine) RouteNegotiated(ctx context.Context) (*NegotiatedResult, error)
 // RouteNet routes one net of the layout by name, independently of the
 // session's whole-layout state (which it does not modify).
 func (e *Engine) RouteNet(ctx context.Context, name string) (NetRoute, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	ni, ok := e.netIdx[name]
 	if !ok {
 		return NetRoute{}, fmt.Errorf("genroute: no net %q", name)
@@ -200,15 +245,23 @@ func (e *Engine) RouteNet(ctx context.Context, name string) (NetRoute, error) {
 
 // RoutePoints routes between two arbitrary points, avoiding all cells.
 func (e *Engine) RoutePoints(ctx context.Context, a, b Point) (Route, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.r.RoutePointsCtx(ctx, a, b)
 }
 
 // Validate checks a routed net tree against the layout geometry.
-func (e *Engine) Validate(nr *NetRoute) error { return e.r.Validate(nr) }
+func (e *Engine) Validate(nr *NetRoute) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.r.Validate(nr)
+}
 
 // CheckConnectivity verifies that the session's current routing state
 // physically connects every net.
 func (e *Engine) CheckConnectivity() error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	if e.cur == nil {
 		return errNotRouted("CheckConnectivity")
 	}
@@ -219,6 +272,8 @@ func (e *Engine) CheckConnectivity() error {
 // and left-edge track assignment — over the session's current routing
 // state. window is the interference proximity (0 for the default).
 func (e *Engine) AssignTracks(window int64) (*TrackResult, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	if e.cur == nil {
 		return nil, errNotRouted("AssignTracks")
 	}
@@ -228,6 +283,8 @@ func (e *Engine) AssignTracks(window int64) (*TrackResult, error) {
 // AssignLayers applies the two-layer HV discipline with via counting over
 // the session's current routing state.
 func (e *Engine) AssignLayers() (*LayerResult, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	if e.cur == nil {
 		return nil, errNotRouted("AssignLayers")
 	}
@@ -243,6 +300,8 @@ func (e *Engine) AssignLayers() (*LayerResult, error) {
 // result.Layout to continue with it). On cancellation the iterations
 // completed so far are returned with the context's error.
 func (e *Engine) AdjustPlacement(ctx context.Context) (*AdjustResult, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return adjust.RunCtx(ctx, e.l, adjust.Options{
 		Pitch:    e.cfg.congest.Pitch,
 		MaxIters: e.cfg.adjustIters,

@@ -1,0 +1,106 @@
+package genroute
+
+import (
+	"context"
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestEngineConcurrentRouteAndCommit hammers one routed session with the
+// exact pattern the groutd daemon relies on: many concurrent read-side
+// calls (RouteNet, Overflow, AssignTracks, Save) racing against a writer
+// that commits ECO transactions. Run under -race this pins the Engine's
+// readers–writer contract; without -race it still asserts every call
+// observes a consistent session (routes found, commits succeed).
+func TestEngineConcurrentRouteAndCommit(t *testing.T) {
+	ctx := context.Background()
+	e, err := NewEngine(funnelLayout(8), WithPitch(2), WithPenaltyWeight(40), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RouteNegotiated(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The writer toggles net 0 out of and back into the layout; grab a deep
+	// copy before any goroutine races on the engine's layout.
+	toggled := netName(0)
+	var orig Net
+	for i := range e.Layout().Nets {
+		if e.Layout().Nets[i].Name == toggled {
+			orig = cloneNet(&e.Layout().Nets[i])
+		}
+	}
+	if orig.Name == "" {
+		t.Fatalf("fixture has no net %q", toggled)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Nets 1..7 are never edited, so every read must succeed no
+			// matter how the commits interleave.
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				name := netName(1 + (i+g)%7)
+				nr, err := e.RouteNet(ctx, name)
+				if err != nil || !nr.Found {
+					t.Errorf("concurrent RouteNet(%q): found=%v err=%v", name, nr.Found, err)
+					return
+				}
+				e.Overflow()
+				if !e.Routed() {
+					t.Error("session lost its routed state mid-run")
+					return
+				}
+				if _, err := e.AssignTracks(0); err != nil {
+					t.Errorf("concurrent AssignTracks: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := e.Save(io.Discard); err != nil {
+				t.Errorf("concurrent Save: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Writer: alternate RemoveNet/AddNet commits on the same session. Ends
+	// on an AddNet so the final layout matches the fixture.
+	for i := 0; i < 8; i++ {
+		tx := e.Edit()
+		if i%2 == 0 {
+			err = tx.RemoveNet(toggled)
+		} else {
+			err = tx.AddNet(orig)
+		}
+		if err != nil {
+			t.Fatalf("stage %d: %v", i, err)
+		}
+		if _, err := tx.Commit(ctx); err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	checkEngineConsistency(t, e)
+}

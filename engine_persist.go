@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/congest"
+	"repro/internal/faultinject"
 	"repro/internal/plane"
 	"repro/internal/router"
 	"repro/internal/snapshot"
@@ -35,12 +36,15 @@ var (
 
 // layoutHash memoizes the session layout's fingerprint; ECO commits reset
 // the memo because they mutate the layout. (A genuine hash of 0 only costs
-// a recompute, never a wrong value.)
+// a recompute, never a wrong value; the memo is atomic so concurrent
+// readers can race on it benignly.)
 func (e *Engine) layoutHash() uint64 {
-	if e.lhash == 0 {
-		e.lhash = snapshot.LayoutHash(e.l)
+	if h := e.lhash.Load(); h != 0 {
+		return h
 	}
-	return e.lhash
+	h := snapshot.LayoutHash(e.l)
+	e.lhash.Store(h)
+	return h
 }
 
 // Save serializes the prepared session to w: the layout fingerprint, the
@@ -52,6 +56,8 @@ func (e *Engine) layoutHash() uint64 {
 // handed and uses the embedded fingerprint to prove that layout is
 // byte-identical to the validated one saved over.
 func (e *Engine) Save(w io.Writer) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	sess := &snapshot.Session{
 		LayoutHash: e.layoutHash(),
 		Pitch:      e.cfg.congest.Pitch,
@@ -89,7 +95,8 @@ func LoadEngine(r io.Reader, l *Layout, opts ...Option) (*Engine, error) {
 	}
 	cfg := newConfig(opts)
 	cfg.congest.Pitch = sess.Pitch
-	e := &Engine{l: lc, cfg: cfg, lhash: sess.LayoutHash}
+	e := &Engine{l: lc, cfg: cfg}
+	e.lhash.Store(sess.LayoutHash)
 	if e.ix, e.spans, err = plane.FromLayoutSpans(e.l); err != nil {
 		return nil, err
 	}
@@ -147,6 +154,8 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 // result covers the resumed portion only; the session's state is installed
 // exactly as RouteNegotiated would.
 func (e *Engine) ResumeNegotiated(ctx context.Context, cp *Checkpoint) (*NegotiatedResult, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if cp.f.LayoutHash != e.layoutHash() {
 		return nil, fmt.Errorf("%w: checkpoint was taken over a different layout", ErrSnapshotLayout)
 	}
@@ -220,27 +229,78 @@ func (e *Engine) installNegotiated(res *congest.NegotiateResult, err error) {
 	e.setState(res.Results[k], res.Maps[k].Clone(), append([]int(nil), res.History...))
 }
 
-// writeCheckpointFile writes a checkpoint atomically: encode to a temp file
-// in the target directory, fsync, then rename over the destination — a
+// SaveFile writes the session snapshot (see Save) to path atomically:
+// encode to a temp file in the target directory, fsync, then rename over
+// the destination. A crash or failure mid-write leaves any previous file
+// intact and never a torn or temp file.
+func (e *Engine) SaveFile(path string) error {
+	return atomicWrite(path, e.Save)
+}
+
+// LoadEngineFile rebuilds a prepared session from a snapshot file written
+// by SaveFile (see LoadEngine for the matching and option semantics).
+func LoadEngineFile(path string, l *Layout, opts ...Option) (*Engine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadEngine(f, l, opts...)
+}
+
+// writeCheckpointFile writes a checkpoint atomically (see atomicWrite) — a
 // crash mid-write leaves the previous checkpoint intact, never a torn one.
 func writeCheckpointFile(path string, cf *snapshot.CheckpointFile) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-")
+	return atomicWrite(path, func(w io.Writer) error {
+		return snapshot.EncodeCheckpoint(w, cf)
+	})
+}
+
+// atomicWrite replaces path atomically: write encodes into a temp file in
+// the same directory, which is fsynced and renamed over the destination
+// only if every step succeeded. On any error — or a panic inside write —
+// the temp file is removed, so a failed replacement leaves the previous
+// file intact and no *.tmp-* litter behind. Every write passes through the
+// faultinject.SnapshotWrite seam so tests can fail the encode mid-stream.
+func atomicWrite(path string, write func(io.Writer) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-")
 	if err != nil {
 		return err
 	}
-	err = snapshot.EncodeCheckpoint(tmp, cf)
-	if err == nil {
-		err = tmp.Sync()
+	name := tmp.Name()
+	committed := false
+	defer func() {
+		if !committed {
+			tmp.Close() // double Close on the error paths below is harmless
+			os.Remove(name)
+		}
+	}()
+	if err := write(faultableWriter{w: tmp, label: path}); err != nil {
+		return err
 	}
-	if cerr := tmp.Close(); err == nil {
-		err = cerr
+	if err := tmp.Sync(); err != nil {
+		return err
 	}
-	if err == nil {
-		err = os.Rename(tmp.Name(), path)
+	if err := tmp.Close(); err != nil {
+		return err
 	}
-	if err != nil {
-		os.Remove(tmp.Name())
+	if err := os.Rename(name, path); err != nil {
+		return err
 	}
-	return err
+	committed = true
+	return nil
+}
+
+// faultableWriter interposes the SnapshotWrite fault seam before each
+// underlying write (a no-op atomic load unless a test hook is installed).
+type faultableWriter struct {
+	w     io.Writer
+	label string
+}
+
+func (fw faultableWriter) Write(p []byte) (int, error) {
+	if err := faultinject.Fire(faultinject.SnapshotWrite, fw.label); err != nil {
+		return 0, err
+	}
+	return fw.w.Write(p)
 }

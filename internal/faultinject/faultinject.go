@@ -34,6 +34,11 @@ const (
 	// Commit fires in Edit.Commit after validation, before the repaired
 	// state is installed.
 	Commit
+	// SnapshotWrite fires on every write of an atomic snapshot/checkpoint
+	// file replacement, before the bytes reach the temp file (the label is
+	// the destination path). An injected fault must leave no temp file
+	// behind and keep any previous file intact.
+	SnapshotWrite
 )
 
 // String names the point for injected-error messages.
@@ -47,6 +52,8 @@ func (p Point) String() string {
 		return "reroute"
 	case Commit:
 		return "commit"
+	case SnapshotWrite:
+		return "snapshotwrite"
 	}
 	return fmt.Sprintf("point(%d)", uint8(p))
 }

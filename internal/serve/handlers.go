@@ -1,0 +1,366 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/snapshot"
+)
+
+// maxLayoutBytes bounds a POST /v1/sessions body (layout JSON).
+const maxLayoutBytes = 1 << 30
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody decodes a JSON request body into v; an empty body leaves v at
+// its zero value (every request field has a default).
+func decodeBody(r *http.Request, v any) error {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil && !errors.Is(err, io.EOF) {
+		return err
+	}
+	return nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	n := len(s.sessions.snapshotList())
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, readyzResponse{Status: "draining", Sessions: n})
+		return
+	}
+	writeJSON(w, http.StatusOK, readyzResponse{Status: "ready", Sessions: n})
+}
+
+func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
+	sessions := s.sessions.snapshotList()
+	out := make([]sessionResponse, 0, len(sessions))
+	for _, sess := range sessions {
+		l := sess.e.Layout()
+		out = append(out, sessionResponse{
+			Hash:      sess.key(),
+			Name:      l.Name,
+			Cells:     len(l.Cells),
+			Nets:      len(l.Nets),
+			Warm:      sess.warm,
+			Routed:    sess.e.Routed(),
+			Overflow:  sess.e.Overflow(),
+			PrepareMS: float64(sess.prep) / float64(time.Millisecond),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleCreateSession prepares (or joins, or warm-starts) a session for
+// the posted layout JSON. Engine options come from query parameters:
+// ?pitch=, ?weight=, ?passes= (absent parameters keep engine defaults).
+// The session's identity is the layout fingerprint; posting the same
+// layout twice returns the resident session without rebuilding, and
+// concurrent posts of one layout share a single preparation.
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	l, err := genroute.ReadLayout(http.MaxBytesReader(w, r.Body, maxLayoutBytes))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid layout: %v", err)
+		return
+	}
+	opts, err := optionsFromQuery(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	l.NormalizeBoxes()
+	hash := snapshot.LayoutHash(l)
+	sess, created, err := s.sessions.getOrCreate(r.Context().Done(), l, hash, opts)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "preparing session: %v", err)
+		return
+	}
+	status := http.StatusOK
+	if created {
+		status = http.StatusCreated
+	}
+	writeJSON(w, status, sessionResponse{
+		Hash:      sess.key(),
+		Name:      l.Name,
+		Cells:     len(l.Cells),
+		Nets:      len(l.Nets),
+		Created:   created,
+		Warm:      sess.warm,
+		Routed:    sess.e.Routed(),
+		Overflow:  sess.e.Overflow(),
+		PrepareMS: float64(sess.prep) / float64(time.Millisecond),
+	})
+}
+
+// optionsFromQuery maps ?pitch/?weight/?passes to engine options.
+func optionsFromQuery(r *http.Request) ([]genroute.Option, error) {
+	var opts []genroute.Option
+	q := r.URL.Query()
+	if v := q.Get("pitch"); v != "" {
+		p, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || p <= 0 {
+			return nil, fmt.Errorf("bad pitch %q", v)
+		}
+		opts = append(opts, genroute.WithPitch(p))
+	}
+	if v := q.Get("weight"); v != "" {
+		wt, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || wt < 0 {
+			return nil, fmt.Errorf("bad weight %q", v)
+		}
+		opts = append(opts, genroute.WithPenaltyWeight(wt))
+	}
+	if v := q.Get("passes"); v != "" {
+		p, err := strconv.Atoi(v)
+		if err != nil || p <= 0 {
+			return nil, fmt.Errorf("bad passes %q", v)
+		}
+		opts = append(opts, genroute.WithMaxPasses(p))
+	}
+	return opts, nil
+}
+
+// lookupSession resolves the {hash} path element to a resident session
+// (404 when evicted or never prepared — the client re-POSTs the layout,
+// which warm-starts from the snapshot when one exists).
+func (s *Server) lookupSession(w http.ResponseWriter, r *http.Request) *session {
+	hex := r.PathValue("hash")
+	hash, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad session hash %q", hex)
+		return nil
+	}
+	sess := s.sessions.lookup(hash)
+	if sess == nil {
+		writeErr(w, http.StatusNotFound, "no session %016x (re-POST the layout to /v1/sessions)", hash)
+		return nil
+	}
+	return sess
+}
+
+// isInterrupted classifies a routing error as deadline/drain cancellation
+// — the partial-result class, not a failure.
+func isInterrupted(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+}
+
+// handleRoute routes one net against the session's prepared geometry
+// (read-only: many route requests run concurrently on one session). An
+// expired deadline returns the well-formed partial tree, marked partial.
+func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookupSession(w, r)
+	if sess == nil {
+		return
+	}
+	var req routeRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad route request: %v", err)
+		return
+	}
+	if req.Net == "" {
+		writeErr(w, http.StatusBadRequest, "route request names no net")
+		return
+	}
+	ctx, cancel := s.reqContext(r, req.DeadlineMS)
+	defer cancel()
+	start := time.Now()
+	nr, err := sess.e.RouteNet(ctx, req.Net)
+	partial := false
+	switch {
+	case err == nil:
+	case isInterrupted(err):
+		partial = true
+	case strings.Contains(err.Error(), "no net"):
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	default:
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, routeResponse{
+		Net:       req.Net,
+		Found:     nr.Found,
+		Length:    int64(nr.Length),
+		Segments:  segsJSON(nr.Segments),
+		Partial:   partial,
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+// handleNegotiate runs (or resumes) the negotiated-congestion flow on the
+// session. With a snapshot dir, the run checkpoints as it goes; if a
+// checkpoint from an interrupted run exists it is resumed — producing
+// routes byte-identical to the uninterrupted run — and a completed run
+// retires it. An expired deadline or drain returns the best-pass partial
+// with "partial": true, leaving the checkpoint as the resume point.
+func (s *Server) handleNegotiate(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookupSession(w, r)
+	if sess == nil {
+		return
+	}
+	var req negotiateRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad negotiate request: %v", err)
+		return
+	}
+	ctx, cancel := s.reqContext(r, req.DeadlineMS)
+	defer cancel()
+
+	sess.negMu.Lock()
+	defer sess.negMu.Unlock()
+	start := time.Now()
+	res, resumed, err := s.runNegotiation(ctx, sess)
+	partial := err != nil && isInterrupted(err)
+	if res == nil || (err != nil && !partial) {
+		writeErr(w, http.StatusInternalServerError, "negotiation failed: %v", err)
+		return
+	}
+	if s.cfg.SnapshotDir != "" {
+		if !partial {
+			// The run completed; a leftover checkpoint would wrongly
+			// resume a finished negotiation next time.
+			os.Remove(s.sessions.ckptPath(sess.hash))
+		}
+		s.sessions.saveSnapshot(sess)
+	}
+	resp := negotiateResponse{
+		Converged: res.Converged,
+		Stalled:   res.Stalled,
+		Partial:   partial,
+		Resumed:   resumed,
+		Overflow:  sess.e.Overflow(),
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	for _, p := range res.Passes {
+		resp.Passes = append(resp.Passes, passJSON{
+			Overflow:    p.Overflow,
+			Overflowed:  p.Overflowed,
+			Routed:      p.Routed,
+			Rerouted:    len(p.Rerouted),
+			TotalLength: int64(p.TotalLength),
+			ElapsedMS:   float64(p.Elapsed) / float64(time.Millisecond),
+		})
+	}
+	for _, pe := range res.Panics {
+		resp.Degraded = append(resp.Degraded, pe.Net)
+	}
+	if req.Wires {
+		if cur := sess.e.Result(); cur != nil {
+			resp.Wires = wiresJSON(cur.Nets)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// runNegotiation picks resume-from-checkpoint when a checkpoint file
+// exists, walking the same fail-open ladder as session preparation: a
+// checkpoint that cannot be used (corrupt, wrong layout or pitch) is
+// quarantined and the negotiation runs fresh instead of erroring.
+func (s *Server) runNegotiation(ctx context.Context, sess *session) (*genroute.NegotiatedResult, bool, error) {
+	if s.cfg.SnapshotDir != "" {
+		path := s.sessions.ckptPath(sess.hash)
+		if f, err := os.Open(path); err == nil {
+			cp, rerr := genroute.ReadCheckpoint(f)
+			f.Close()
+			if rerr == nil {
+				res, nerr := sess.e.ResumeNegotiated(ctx, cp)
+				if nerr == nil || !isSnapshotErr(nerr) {
+					return res, true, nerr
+				}
+				rerr = nerr
+			}
+			s.sessions.quarantine(path, rerr)
+		}
+	}
+	res, err := sess.e.RouteNegotiated(ctx)
+	return res, false, err
+}
+
+// handleECO applies a staged edit transaction to the session and repairs
+// the routing incrementally. A successful commit changes the layout, so
+// the session's warm-start snapshot (keyed by the creation layout's
+// fingerprint) is retired rather than rewritten.
+func (s *Server) handleECO(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookupSession(w, r)
+	if sess == nil {
+		return
+	}
+	var req ecoRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad eco request: %v", err)
+		return
+	}
+	if len(req.Ops) == 0 {
+		writeErr(w, http.StatusBadRequest, "eco request stages no ops")
+		return
+	}
+	tx := sess.e.Edit()
+	for i, op := range req.Ops {
+		var err error
+		switch op.Op {
+		case "add_net":
+			var n genroute.Net
+			if err = json.Unmarshal(op.Net, &n); err == nil {
+				err = tx.AddNet(n)
+			}
+		case "remove_net":
+			err = tx.RemoveNet(op.Name)
+		case "move_cell":
+			err = tx.MoveCell(op.Name, op.DX, op.DY)
+		default:
+			err = fmt.Errorf("unknown op %q", op.Op)
+		}
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "op %d: %v", i, err)
+			return
+		}
+	}
+	ctx, cancel := s.reqContext(r, req.DeadlineMS)
+	defer cancel()
+	sess.negMu.Lock()
+	defer sess.negMu.Unlock()
+	eco, err := tx.Commit(ctx)
+	partial := err != nil && isInterrupted(err) && eco != nil
+	switch {
+	case err == nil || partial:
+	case strings.Contains(err.Error(), "panicked"):
+		writeJSON(w, http.StatusInternalServerError, errorResponse{
+			Error: err.Error(), Degraded: true,
+		})
+		return
+	default:
+		writeErr(w, http.StatusBadRequest, "eco commit: %v", err)
+		return
+	}
+	sess.mutated = true
+	if s.cfg.SnapshotDir != "" {
+		s.sessions.saveSnapshot(sess) // retires the now-stale snapshot
+		os.Remove(s.sessions.ckptPath(sess.hash))
+	}
+	writeJSON(w, http.StatusOK, ecoResponse{
+		Dirty:     eco.Dirty,
+		Converged: eco.Converged,
+		Overflow:  sess.e.Overflow(),
+		Partial:   partial,
+		ElapsedMS: float64(eco.Elapsed) / float64(time.Millisecond),
+	})
+}

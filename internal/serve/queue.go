@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errSaturated reports that both the work slots and the bounded backlog
+// are full; the caller sheds the request with 429 + Retry-After instead of
+// queueing it (the invariant: a saturated daemon holds a bounded number of
+// goroutines and a bounded amount of request state, no matter the offered
+// load).
+var errSaturated = errors.New("serve: work queue saturated")
+
+// queue is the admission controller: MaxConcurrent work slots plus a
+// bounded count of waiters. Admission is two-phase so the saturation
+// verdict is immediate — a request either gets a slot, joins the bounded
+// backlog, or fails fast with errSaturated.
+type queue struct {
+	slots   chan struct{}
+	waiters atomic.Int64
+	maxWait int64
+}
+
+func newQueue(concurrent, backlog int) *queue {
+	return &queue{slots: make(chan struct{}, concurrent), maxWait: int64(backlog)}
+}
+
+// acquire takes a work slot, waiting in the backlog if one is free there.
+// It returns errSaturated immediately when the backlog is full, or the
+// context's error if the caller gives up while queued.
+func (q *queue) acquire(ctx context.Context) error {
+	select {
+	case q.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if q.waiters.Add(1) > q.maxWait {
+		q.waiters.Add(-1)
+		return errSaturated
+	}
+	defer q.waiters.Add(-1)
+	select {
+	case q.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (q *queue) release() { <-q.slots }

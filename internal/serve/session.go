@@ -1,0 +1,244 @@
+package serve
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro"
+)
+
+// session is one resident prepared engine plus its cache bookkeeping.
+type session struct {
+	hash uint64
+	e    *genroute.Engine
+	el   *list.Element
+	// warm reports a snapshot warm start; prep is the preparation wall
+	// time either way (the smoke bench's warm-vs-cold ratio).
+	warm bool
+	prep time.Duration
+	// negMu serializes the negotiate/eco handlers' checkpoint-file
+	// bookkeeping for this session (the Engine's own lock serializes the
+	// routing work; this keeps the read-resume-delete sequence atomic).
+	negMu sync.Mutex
+	// mutated marks a session whose layout an ECO commit changed: its
+	// fingerprint no longer matches its URL identity, so the warm-start
+	// snapshot for that hash is stale and must not be (re)written.
+	mutated bool
+}
+
+func (s *session) key() string { return fmt.Sprintf("%016x", s.hash) }
+
+// sessionCache is the bounded LRU of prepared sessions, keyed by
+// snapshot.LayoutHash, with single-flight preparation and the snapshot
+// warm-start fallback ladder.
+type sessionCache struct {
+	mu       sync.Mutex
+	max      int
+	dir      string // "" disables persistence
+	every    int    // mid-pass checkpoint cadence
+	baseOpts []genroute.Option
+	logf     func(string, ...any)
+
+	byHash   map[uint64]*session
+	lru      *list.List // front = most recently used
+	inflight map[uint64]*prepareCall
+}
+
+// prepareCall is one in-flight cold/warm build; concurrent requests for
+// the same layout wait on done and share the outcome.
+type prepareCall struct {
+	done chan struct{}
+	sess *session
+	err  error
+}
+
+func newSessionCache(max int, dir string, every int, baseOpts []genroute.Option, logf func(string, ...any)) *sessionCache {
+	return &sessionCache{
+		max:      max,
+		dir:      dir,
+		every:    every,
+		baseOpts: baseOpts,
+		logf:     logf,
+		byHash:   make(map[uint64]*session),
+		lru:      list.New(),
+		inflight: make(map[uint64]*prepareCall),
+	}
+}
+
+func (c *sessionCache) snapPath(hash uint64) string {
+	return filepath.Join(c.dir, fmt.Sprintf("%016x.snap", hash))
+}
+
+func (c *sessionCache) ckptPath(hash uint64) string {
+	return filepath.Join(c.dir, fmt.Sprintf("%016x.ckpt", hash))
+}
+
+// lookup returns the resident session for hash (touching its LRU slot),
+// or nil.
+func (c *sessionCache) lookup(hash uint64) *session {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.byHash[hash]
+	if s != nil {
+		c.lru.MoveToFront(s.el)
+	}
+	return s
+}
+
+// getOrCreate returns the session for hash, preparing it (warm or cold)
+// if absent. Concurrent calls for one hash share a single preparation;
+// joiners that time out waiting return their context's error while the
+// build itself continues for everyone else.
+func (c *sessionCache) getOrCreate(done <-chan struct{}, l *genroute.Layout, hash uint64, opts []genroute.Option) (*session, bool, error) {
+	c.mu.Lock()
+	if s := c.byHash[hash]; s != nil {
+		c.lru.MoveToFront(s.el)
+		c.mu.Unlock()
+		return s, false, nil
+	}
+	if call := c.inflight[hash]; call != nil {
+		c.mu.Unlock()
+		select {
+		case <-call.done:
+			return call.sess, false, call.err
+		case <-done:
+			return nil, false, errors.New("serve: request cancelled while waiting for session preparation")
+		}
+	}
+	call := &prepareCall{done: make(chan struct{})}
+	c.inflight[hash] = call
+	c.mu.Unlock()
+
+	sess, err := c.build(l, hash, opts)
+
+	c.mu.Lock()
+	delete(c.inflight, hash)
+	if err == nil {
+		c.install(sess)
+	}
+	call.sess, call.err = sess, err
+	c.mu.Unlock()
+	close(call.done)
+	return sess, err == nil, err
+}
+
+// build prepares an engine for the layout, walking the warm-start ladder:
+// an on-disk snapshot is tried first, any typed ErrSnapshot* failure
+// (corrupt, truncated, version-skewed, wrong layout) quarantines the file
+// and falls through to a cold NewEngine — fail-open, never fail-crash.
+func (c *sessionCache) build(l *genroute.Layout, hash uint64, opts []genroute.Option) (*session, error) {
+	opts = append(append([]genroute.Option(nil), c.baseOpts...), opts...)
+	if c.dir != "" {
+		opts = append(opts, genroute.WithCheckpointFile(c.ckptPath(hash), c.every))
+	}
+	start := time.Now()
+	if c.dir != "" {
+		path := c.snapPath(hash)
+		if _, err := os.Stat(path); err == nil {
+			e, lerr := genroute.LoadEngineFile(path, l, opts...)
+			if lerr == nil {
+				c.logf("serve: session %016x warm-started from %s in %s", hash, path, time.Since(start).Round(time.Millisecond))
+				return &session{hash: hash, e: e, warm: true, prep: time.Since(start)}, nil
+			}
+			if isSnapshotErr(lerr) {
+				c.quarantine(path, lerr)
+			} else {
+				c.logf("serve: warm start %s failed: %v (falling back to cold build)", path, lerr)
+			}
+			start = time.Now()
+		}
+	}
+	e, err := genroute.NewEngine(l, opts...)
+	if err != nil {
+		return nil, err
+	}
+	sess := &session{hash: hash, e: e, prep: time.Since(start)}
+	c.logf("serve: session %016x cold-prepared in %s (%d cells, %d nets)",
+		hash, sess.prep.Round(time.Millisecond), len(l.Cells), len(l.Nets))
+	if c.dir != "" {
+		c.saveSnapshot(sess)
+	}
+	return sess, nil
+}
+
+// isSnapshotErr reports a typed persistence failure — the fail-open class:
+// the file is provably unusable, so quarantining it loses nothing.
+func isSnapshotErr(err error) bool {
+	return errors.Is(err, genroute.ErrSnapshotFormat) ||
+		errors.Is(err, genroute.ErrSnapshotVersion) ||
+		errors.Is(err, genroute.ErrSnapshotChecksum) ||
+		errors.Is(err, genroute.ErrSnapshotCorrupt) ||
+		errors.Is(err, genroute.ErrSnapshotLayout)
+}
+
+// quarantine moves a provably bad snapshot or checkpoint aside (to
+// path.bad) so it is never retried, keeping it for post-mortem instead of
+// deleting the evidence.
+func (c *sessionCache) quarantine(path string, cause error) {
+	bad := path + ".bad"
+	if err := os.Rename(path, bad); err != nil {
+		c.logf("serve: quarantine %s: rename failed (%v); removing", path, err)
+		os.Remove(path)
+		return
+	}
+	c.logf("serve: quarantined %s -> %s: %v", path, bad, cause)
+}
+
+// install adds a built session and evicts past the LRU bound. Eviction
+// drops memory only: the snapshot written at build/negotiate/eco time is
+// the session's durable form, so a re-request warm-starts.
+func (c *sessionCache) install(s *session) {
+	s.el = c.lru.PushFront(s)
+	c.byHash[s.hash] = s
+	for c.lru.Len() > c.max {
+		back := c.lru.Back()
+		ev := back.Value.(*session)
+		c.lru.Remove(back)
+		delete(c.byHash, ev.hash)
+		c.logf("serve: evicted session %016x (LRU bound %d)", ev.hash, c.max)
+	}
+}
+
+func (c *sessionCache) lruValue(el *list.Element) *session { return el.Value.(*session) }
+
+// snapshot returns the resident sessions, most recently used first.
+func (c *sessionCache) snapshotList() []*session {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*session, 0, c.lru.Len())
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		out = append(out, c.lruValue(el))
+	}
+	return out
+}
+
+// saveSnapshot persists one session's current state for warm restarts.
+// Persistence is best-effort by design — a failed save costs a future cold
+// build, never the request. An ECO-mutated session instead removes its
+// stale snapshot (the layout no longer matches the session's hash key).
+func (c *sessionCache) saveSnapshot(s *session) {
+	if c.dir == "" {
+		return
+	}
+	path := c.snapPath(s.hash)
+	if s.mutated {
+		os.Remove(path)
+		return
+	}
+	if err := s.e.SaveFile(path); err != nil {
+		c.logf("serve: persisting session %016x: %v", s.hash, err)
+	}
+}
+
+// persistAll saves every resident session (called after drain, when the
+// engines are idle).
+func (c *sessionCache) persistAll() {
+	for _, s := range c.snapshotList() {
+		c.saveSnapshot(s)
+	}
+}
