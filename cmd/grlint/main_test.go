@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var sample = []analysis.Finding{
+	{Analyzer: "maporder", File: "/repo/eco.go", Line: 245, Column: 2,
+		Message: "range over map: iteration order is nondeterministic"},
+	{Analyzer: "recoverguard", File: "/repo/eco.go", Line: 192, Column: 10,
+		Message: "recover() outside a blessed guard"},
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, sample); err != nil {
+		t.Fatal(err)
+	}
+	var got []analysis.Finding
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(got) != 2 || got[0] != sample[0] || got[1] != sample[1] {
+		t.Errorf("round trip = %+v, want %+v", got, sample)
+	}
+}
+
+func TestWriteJSONEmptyIsArray(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s := strings.TrimSpace(buf.String()); s != "[]" {
+		t.Errorf("empty findings encode as %q, want []", s)
+	}
+}
+
+func TestWriteJSONFieldNames(t *testing.T) {
+	// CI annotators key on these exact field names; pin them.
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, sample[:1]); err != nil {
+		t.Fatal(err)
+	}
+	var raw []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"analyzer", "file", "line", "column", "message"} {
+		if _, ok := raw[0][key]; !ok {
+			t.Errorf("JSON object missing %q key: %v", key, raw[0])
+		}
+	}
+}
+
+func TestWriteTextFormat(t *testing.T) {
+	var buf bytes.Buffer
+	writeText(&buf, sample, "/repo")
+	out := buf.String()
+	if !strings.Contains(out, "eco.go:245:2: maporder: range over map") {
+		t.Errorf("text output missing compiler-style line:\n%s", out)
+	}
+	if !strings.Contains(out, "grlint: 2 finding(s)") {
+		t.Errorf("text output missing summary:\n%s", out)
+	}
+}
+
+func TestWriteTextCleanIsSilent(t *testing.T) {
+	var buf bytes.Buffer
+	writeText(&buf, nil, ".")
+	if buf.Len() != 0 {
+		t.Errorf("clean run produced output: %q", buf.String())
+	}
+}

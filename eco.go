@@ -188,12 +188,7 @@ type ECOResult struct {
 // assignments), so the engine is left exactly as it was.
 func (tx *Edit) Commit(ctx context.Context) (res *ECOResult, err error) {
 	e := tx.e
-	defer func() {
-		if v := recover(); v != nil {
-			res = nil
-			err = fmt.Errorf("genroute: ECO commit panicked: %v\n%s", v, debug.Stack())
-		}
-	}()
+	defer recoverCommitPanic(&res, &err)
 	if tx.committed {
 		return nil, fmt.Errorf("genroute: Edit already committed")
 	}
@@ -240,19 +235,24 @@ func (tx *Edit) Commit(ctx context.Context) (res *ECOResult, err error) {
 	nets2 = append(nets2, adds...)
 	l2.Nets = nets2
 
+	// One scan over the cells in index order resolves every move: cheaper
+	// than the per-name scan it replaces (O(cells) vs O(moves·cells)) and it
+	// fixes the translation and obstacle-splice order, keeping the commit
+	// deterministic. delete keeps first-cell-wins for a duplicate cell name,
+	// matching the old scan's break.
 	movedCells := map[int]Point{} // cell index → delta
-	for name, d := range moves {
-		if d == Pt(0, 0) {
+	var movedOrder []int          // the same keys, ascending
+	for ci := range l2.Cells {
+		d, ok := moves[l2.Cells[ci].Name]
+		if !ok || d == Pt(0, 0) {
 			continue
 		}
-		for ci := range l2.Cells {
-			if l2.Cells[ci].Name == name {
-				movedCells[ci] = d
-				break
-			}
-		}
+		delete(moves, l2.Cells[ci].Name)
+		movedCells[ci] = d
+		movedOrder = append(movedOrder, ci)
 	}
-	for ci, d := range movedCells {
+	for _, ci := range movedOrder {
+		d := movedCells[ci]
 		c := &l2.Cells[ci]
 		c.Box = c.Box.Translate(d)
 		for vi := range c.Poly {
@@ -288,11 +288,9 @@ func (tx *Edit) Commit(ctx context.Context) (res *ECOResult, err error) {
 	ix2, spans2, passages2 := e.ix, e.spans, e.passages
 	geometryChanged := len(movedCells) > 0
 	if geometryChanged {
-		order := make([]int, 0, len(movedCells))
-		for ci := range movedCells {
-			order = append(order, ci)
-		}
-		sort.Ints(order)
+		// movedOrder is already the ascending cell-index order a fresh
+		// collect-and-sort over movedCells would produce.
+		order := movedOrder
 		var removedObs []int
 		var addedRects []geom.Rect
 		for _, ci := range order {
@@ -347,26 +345,20 @@ func (tx *Edit) Commit(ctx context.Context) (res *ECOResult, err error) {
 	// new geometry blocks, and — after a geometry change — previously
 	// unrouted nets, which the new placement may have made routable (a
 	// from-scratch run would retry them too).
-	dirty := make(map[int]bool)
-	for ni := numKept; ni < len(l2.Nets); ni++ {
-		dirty[ni] = true
-	}
-	if geometryChanged {
-		for ni := range l2.Nets {
-			if dirty[ni] {
-				continue
-			}
-			if !cur2.Nets[ni].Found || netTouchesCells(&l2.Nets[ni], movedCells) ||
-				routeBlocked(ix2, cur2.Nets[ni].Segments) {
-				dirty[ni] = true
-			}
+	// Built in one ascending scan, so the list needs no sort and no
+	// map-keyed collection: added nets are dirty by construction, kept nets
+	// only when the geometry change touched or blocked them.
+	dirtyList := make([]int, 0, len(l2.Nets)-numKept)
+	for ni := range l2.Nets {
+		isDirty := ni >= numKept
+		if !isDirty && geometryChanged {
+			isDirty = !cur2.Nets[ni].Found || netTouchesCells(&l2.Nets[ni], movedCells) ||
+				routeBlocked(ix2, cur2.Nets[ni].Segments)
+		}
+		if isDirty {
+			dirtyList = append(dirtyList, ni)
 		}
 	}
-	dirtyList := make([]int, 0, len(dirty))
-	for ni := range dirty {
-		dirtyList = append(dirtyList, ni)
-	}
-	sort.Ints(dirtyList)
 
 	// 6. The live map. With unchanged passages and numbering (pure
 	// additions) the session's map carries over; a removal renumbers the
@@ -441,6 +433,18 @@ func (tx *Edit) Commit(ctx context.Context) (res *ECOResult, err error) {
 		Elapsed:   time.Since(start),
 	}
 	return out, err
+}
+
+// recoverCommitPanic is Commit's deferred panic guard: any panic in the
+// commit becomes an error return and the engine is left exactly as it was
+// (see the Commit doc for why no torn state can escape).
+//
+//grlint:recoverguard ECO commits convert panics to errors so a poisoned edit cannot unwind the caller
+func recoverCommitPanic(res **ECOResult, err *error) {
+	if v := recover(); v != nil {
+		*res = nil
+		*err = fmt.Errorf("genroute: ECO commit panicked: %v\n%s", v, debug.Stack())
+	}
 }
 
 // remapSpans rebuilds the per-cell obstacle-id spans after Index.Edit:

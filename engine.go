@@ -54,29 +54,29 @@ import (
 //     context deadline if readers must not starve.
 //
 // The lock is not context-aware: a method waits for the lock before its
-// context is consulted. Layout returns an interior pointer and is exempt
-// from the contract — treat the value as read-only and do not call it
-// concurrently with Edit.Commit.
+// context is consulted. Layout reads the layout pointer under RLock but
+// returns an interior pointer — treat the returned value as read-only; a
+// concurrent Edit.Commit installs a fresh clone rather than mutating it.
 type Engine struct {
 	// mu enforces the readers–writer contract above. State-replacing flows
 	// (RouteAll, RouteNegotiated, ResumeNegotiated, Edit.Commit) hold it
 	// exclusively; everything else reads under RLock.
 	mu sync.RWMutex
 
-	l   *Layout
-	cfg config
-	ix  *plane.Index
+	l   *Layout        //grlint:guardedby mu
+	cfg config         //grlint:guardedby mu
+	ix  *plane.Index   //grlint:guardedby mu
 	// spans maps each layout cell to the half-open obstacle-id range it
 	// contributed to ix; ECO cell moves splice exactly those ids.
-	spans    [][2]int
-	r        *router.Router
-	passages []congest.Passage
-	netIdx   map[string]int
+	spans    [][2]int          //grlint:guardedby mu
+	r        *router.Router    //grlint:guardedby mu
+	passages []congest.Passage //grlint:guardedby mu
+	netIdx   map[string]int    //grlint:guardedby mu
 
 	// Routed session state (nil until a whole-layout flow has run).
-	cur     *router.LayoutResult
-	m       *congest.Map
-	history []int
+	cur     *router.LayoutResult //grlint:guardedby mu
+	m       *congest.Map         //grlint:guardedby mu
+	history []int                //grlint:guardedby mu
 
 	// lhash memoizes the layout fingerprint for Save and checkpoint writes
 	// (0 = not yet computed; ECO commits reset it). Atomic so concurrent
@@ -122,8 +122,15 @@ func (e *Engine) reindexNets() {
 }
 
 // Layout returns the engine's private copy of the layout, including every
-// committed edit. Treat it as read-only; mutate through Edit instead.
-func (e *Engine) Layout() *Layout { return e.l }
+// committed edit. Treat it as read-only; mutate through Edit instead. The
+// pointer itself is read under the lock — Edit.Commit swaps it for the
+// edited clone, and an unsynchronized read of the pointer word would race
+// with that install.
+func (e *Engine) Layout() *Layout {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.l
+}
 
 // Routed reports whether the session holds a whole-layout routing state
 // (set by RouteAll and RouteNegotiated, updated by Edit.Commit).

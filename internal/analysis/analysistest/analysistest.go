@@ -1,0 +1,126 @@
+// Package analysistest is a minimal mirror of
+// golang.org/x/tools/go/analysis/analysistest: it runs one analyzer over a
+// golden testdata package and checks the diagnostics against `// want`
+// comments in the sources.
+//
+// A want comment is a double-quoted Go string literal holding a regular
+// expression that must match the message of a diagnostic reported on that
+// line; several expectations may share a line:
+//
+//	for k := range m { // want `range over map`
+//
+// Backquoted literals are accepted too. Every want must be matched by
+// exactly one diagnostic and every diagnostic must match a want, or the
+// test fails with a per-line account.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantRe matches one `// want <literal>...` comment tail; literals are
+// extracted by wantLitRe.
+var (
+	wantRe    = regexp.MustCompile(`//\s*want\s+(.*)$`)
+	wantLitRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads dir as one package, applies the analyzer, and reports any
+// mismatch between diagnostics and want comments as test errors.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	loader := analysis.NewLoader(dir)
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+
+	wants := collectWants(t, pkg.GoFiles)
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      loader.Fset(),
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		pos := loader.Fset().Position(d.Pos)
+		if !claim(wants, pos, d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// collectWants parses every `// want` comment of the given files.
+func collectWants(t *testing.T, files []string) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			lits := wantLitRe.FindAllString(m[1], -1)
+			if len(lits) == 0 {
+				t.Fatalf("%s:%d: want comment with no string literal", path, i+1)
+			}
+			for _, lit := range lits {
+				expr := lit[1 : len(lit)-1]
+				if lit[0] == '"' {
+					if _, err := fmt.Sscanf(lit, "%q", &expr); err != nil {
+						t.Fatalf("%s:%d: bad want literal %s: %v", path, i+1, lit, err)
+					}
+				}
+				re, err := regexp.Compile(expr)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", path, i+1, expr, err)
+				}
+				wants = append(wants, &expectation{file: path, line: i + 1, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// claim marks the first unmet expectation on the diagnostic's line whose
+// regexp matches the message.
+func claim(wants []*expectation, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(msg) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// Atomicwrite keeps snapshot/checkpoint persistence torn-file-free: in the
+// packages that write snapshots and checkpoints (the driver scopes this to
+// the package root, internal/serve, and internal/snapshot), files must be
+// produced through the atomicWrite helper (temp file in the target dir +
+// Sync + Close + Rename), never by writing the destination path directly. A
+// direct os.WriteFile/os.Create — or os.OpenFile opened for writing or
+// creation — is exactly the call that left `*.tmp` debris and half-written
+// snapshots before PR 6/7.
+//
+// os.CreateTemp is allowed (it is how atomicWrite itself starts), as is
+// os.OpenFile in read-only mode. A deliberate non-atomic write carries
+// //grlint:rawwrite <reason>.
+var Atomicwrite = &Analyzer{
+	Name: "atomicwrite",
+	Doc: "flags direct os.WriteFile/os.Create/os.OpenFile(write) in " +
+		"persistence packages; route them through the atomicWrite helper or " +
+		"annotate //grlint:rawwrite <reason>",
+	Run: runAtomicwrite,
+}
+
+func runAtomicwrite(pass *Pass) (any, error) {
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, ok := osFuncName(pass, call)
+		if !ok {
+			return true
+		}
+		switch name {
+		case "WriteFile", "Create":
+		case "OpenFile":
+			if !openFileWrites(pass, call) {
+				return true
+			}
+		default:
+			return true
+		}
+		if _, ok := pass.Directive(call, "rawwrite"); ok {
+			return true
+		}
+		pass.Reportf(call.Pos(), "direct os.%s in a persistence package: use the atomicWrite helper (temp+fsync+rename) or annotate //grlint:rawwrite <reason>", name)
+		return true
+	})
+	return nil, nil
+}
+
+// osFuncName resolves call to a function of package os, returning its name.
+func osFuncName(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// openFileWrites reports whether an os.OpenFile call's flag argument
+// (constant-folded when possible) includes a create/write mode. A flag the
+// type checker cannot evaluate to a constant is treated as writing.
+func openFileWrites(pass *Pass, call *ast.CallExpr) bool {
+	if len(call.Args) < 2 {
+		return true
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[1]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return true
+	}
+	flags, ok := constant.Int64Val(tv.Value)
+	if !ok {
+		return true
+	}
+	// os.O_WRONLY=1, O_RDWR=2, O_CREATE=0x40, O_TRUNC=0x200, O_APPEND=0x400
+	// on linux; O_RDONLY is 0, so any of these bits means the file can be
+	// created or mutated.
+	const writeBits = 0x1 | 0x2 | 0x40 | 0x200 | 0x400
+	return flags&writeBits != 0
+}

@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Ctxpoll enforces the cooperative-cancellation discipline on hot-path
+// loops: any loop that can run unbounded work must poll cancellation on some
+// path, or a deadline-carrying request cannot interrupt it. The driver
+// scopes this analyzer to internal/search, internal/congest, and
+// internal/router — the negotiation/search hot path.
+//
+// A loop is suspect when it is not a classic counted `for init; cond; post`
+// loop and not a range over finite data (slice, array, map, string, int) —
+// i.e. `for {}`, `for cond {}`, and range over a channel — AND its body
+// contains at least one function call (a call-free loop is pure arithmetic
+// that terminates on its own structure). A suspect loop passes when its body
+// polls: a select statement, a receive from a `chan struct{}`, a call to
+// ctx.Err/ctx.Done, a call passing a context.Context or done-channel
+// argument down, or a call to a same-package function that itself polls
+// (computed as a fixed point).
+//
+// Escapes: //grlint:bounded <reason> (the loop is provably bounded, e.g. a
+// heap walk) and //grlint:polls <reason> (it polls in a way the analyzer
+// cannot see).
+var Ctxpoll = &Analyzer{
+	Name: "ctxpoll",
+	Doc: "flags unbounded hot-path loops that never poll ctx.Done()/Err(); " +
+		"annotate //grlint:bounded or //grlint:polls with a reason to silence",
+	Run: runCtxpoll,
+}
+
+func runCtxpoll(pass *Pass) (any, error) {
+	pollers := pollingFuncs(pass)
+	pass.Inspect(func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			// A loop with both a condition and a post statement is a counted
+			// scan (`for i := a; i < b; i++` or `for ; i < b; i++` after a
+			// sort.Search): bounded by construction. Condition-only and bare
+			// loops advance in the body, where the analyzer cannot see the
+			// bound.
+			if loop.Cond != nil && loop.Post != nil {
+				return true
+			}
+			body = loop.Body
+		case *ast.RangeStmt:
+			tv, ok := pass.TypesInfo.Types[loop.X]
+			if !ok {
+				return true
+			}
+			if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+				return true // range over finite data
+			}
+			body = loop.Body
+		default:
+			return true
+		}
+		if !containsCall(body) {
+			return true
+		}
+		if bodyPolls(pass, body, pollers) {
+			return true
+		}
+		if _, ok := pass.Directive(n, "bounded"); ok {
+			return true
+		}
+		if _, ok := pass.Directive(n, "polls"); ok {
+			return true
+		}
+		pass.Reportf(n.Pos(), "unbounded loop never polls cancellation (ctx.Done/Err, select, or done-channel receive); annotate //grlint:bounded or //grlint:polls with a reason if intentional")
+		return true
+	})
+	return nil, nil
+}
+
+// containsCall reports whether the body performs any function call.
+func containsCall(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// pollingFuncs computes, as a fixed point, the set of package-declared
+// functions whose bodies poll cancellation — directly or via calls to other
+// polling functions in the same package.
+func pollingFuncs(pass *Pass) map[*types.Func]bool {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	pollers := map[*types.Func]bool{}
+	for changed := true; changed; {
+		changed = false
+		for fn, fd := range decls {
+			if pollers[fn] {
+				continue
+			}
+			if bodyPolls(pass, fd.Body, pollers) {
+				pollers[fn] = true
+				changed = true
+			}
+		}
+	}
+	return pollers
+}
+
+// bodyPolls reports whether any node under body polls cancellation.
+func bodyPolls(pass *Pass, body ast.Node, pollers map[*types.Func]bool) bool {
+	polls := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if polls {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			polls = true
+		case *ast.UnaryExpr:
+			// <-done on a struct{} channel is the done-channel idiom.
+			if n.Op.String() == "<-" && isDoneChan(pass.TypesInfo.TypeOf(n.X)) {
+				polls = true
+			}
+		case *ast.CallExpr:
+			if callPolls(pass, n, pollers) {
+				polls = true
+			}
+		}
+		return !polls
+	})
+	return polls
+}
+
+// callPolls reports whether one call expression constitutes a poll.
+func callPolls(pass *Pass, call *ast.CallExpr, pollers map[*types.Func]bool) bool {
+	// ctx.Err() / ctx.Done() on a context.Context receiver.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if (sel.Sel.Name == "Err" || sel.Sel.Name == "Done") && isContext(pass.TypesInfo.TypeOf(sel.X)) {
+			return true
+		}
+	}
+	// Passing a context or done channel delegates cancellation to the callee.
+	for _, arg := range call.Args {
+		t := pass.TypesInfo.TypeOf(arg)
+		if isContext(t) || isDoneChan(t) {
+			return true
+		}
+	}
+	// A same-package callee already known to poll (methods on a struct that
+	// carries the done channel, e.g. a pooled search context).
+	if fn := calleeFunc(pass, call); fn != nil && pollers[fn] {
+		return true
+	}
+	return false
+}
+
+// calleeFunc resolves a call to its declared *types.Func, if static.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// isDoneChan reports whether t is a channel of struct{} (any direction).
+func isDoneChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}

@@ -1,0 +1,277 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one loaded, parsed, type-checked package.
+type Package struct {
+	PkgPath   string
+	Name      string
+	Dir       string
+	GoFiles   []string
+	Files     []*ast.File
+	Fset      *token.FileSet
+	Types     *types.Package
+	TypesInfo *types.Info
+	// Errors holds the package's own type errors (fatal for module
+	// packages, tolerated for the standard library — see Loader).
+	Errors []error
+}
+
+// Loader parses and type-checks packages from source, resolving the package
+// graph with `go list -deps -json` (the one part of package loading the
+// standard library does not expose). It exists because the x/tools
+// go/packages loader is not vendorable in this environment; the subset here
+// — module packages plus their standard-library closure, no cgo, no test
+// files — is exactly what the grlint analyzers need.
+//
+// Standard-library packages are type-checked from source too (CGO_ENABLED=0
+// selects the pure-Go variants), and their own type errors, if any, are
+// tolerated: an analyzer only needs the std packages' object identities
+// (os.WriteFile, context.Context), not their full health. Module packages
+// must type-check cleanly.
+type Loader struct {
+	// Dir is the directory `go list` runs in (the module root or below);
+	// empty means the current directory.
+	Dir string
+
+	fset *token.FileSet
+	// pkgs caches type-checked packages by ImportPath.
+	pkgs map[string]*Package
+	// importMaps caches each package's vendor import remapping.
+	importMaps map[string]map[string]string
+}
+
+// NewLoader returns a Loader rooted at dir.
+func NewLoader(dir string) *Loader {
+	return &Loader{
+		Dir:        dir,
+		fset:       token.NewFileSet(),
+		pkgs:       map[string]*Package{},
+		importMaps: map[string]map[string]string{},
+	}
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// listedPackage is the subset of `go list -json` output the loader consumes.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns with `go list`, type-checks the listed packages and
+// their whole dependency closure in dependency order, and returns the
+// pattern-matched (non-dependency) packages in list order.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	listed, err := l.goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var roots []*Package
+	for _, lp := range listed {
+		p, err := l.check(lp)
+		if err != nil {
+			return nil, err
+		}
+		if lp.DepOnly {
+			continue
+		}
+		if !lp.Standard && len(p.Errors) > 0 {
+			return nil, fmt.Errorf("analysis: type-checking %s: %w", p.PkgPath, p.Errors[0])
+		}
+		roots = append(roots, p)
+	}
+	return roots, nil
+}
+
+// goList shells out to `go list -deps -json`, which returns the closure in
+// dependency order (every package after all of its dependencies) — the order
+// check() relies on to find every import already cached.
+func (l *Loader) goList(patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-e", "-deps", "-json=ImportPath,Name,Dir,GoFiles,Imports,ImportMap,Standard,DepOnly,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	// CGO_ENABLED=0 selects the pure-Go file sets (net, os/user, ...), so
+	// the whole closure parses without cgo preprocessing.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var listed []*listedPackage
+	for {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("analysis: go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		listed = append(listed, lp)
+	}
+	return listed, nil
+}
+
+// check parses and type-checks one listed package, assuming every import is
+// already cached (guaranteed by go list's dependency order).
+func (l *Loader) check(lp *listedPackage) (*Package, error) {
+	if p, ok := l.pkgs[lp.ImportPath]; ok {
+		return p, nil
+	}
+	if lp.ImportPath == "unsafe" {
+		p := &Package{PkgPath: "unsafe", Name: "unsafe", Fset: l.fset, Types: types.Unsafe}
+		l.pkgs["unsafe"] = p
+		return p, nil
+	}
+	p := &Package{
+		PkgPath: lp.ImportPath,
+		Name:    lp.Name,
+		Dir:     lp.Dir,
+		Fset:    l.fset,
+	}
+	for _, f := range lp.GoFiles {
+		path := filepath.Join(lp.Dir, f)
+		file, err := parser.ParseFile(l.fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %v", path, err)
+		}
+		p.GoFiles = append(p.GoFiles, path)
+		p.Files = append(p.Files, file)
+	}
+	l.importMaps[lp.ImportPath] = lp.ImportMap
+	p.TypesInfo = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	cfg := &types.Config{
+		Importer: importerFor(l, lp.ImportMap),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(err error) { p.Errors = append(p.Errors, err) },
+		// The loader only sees build-tag-filtered files from go list, so
+		// any stray import "C" (it never selects cgo files) is stubbed.
+		FakeImportC: true,
+	}
+	// Check() returns the first error too; errors are already collected via
+	// cfg.Error, and std packages tolerate them (see Loader doc).
+	p.Types, _ = cfg.Check(lp.ImportPath, l.fset, p.Files, p.TypesInfo)
+	l.pkgs[lp.ImportPath] = p
+	return p, nil
+}
+
+// importerFor adapts the loader's cache to go/types, applying the package's
+// vendor import remapping (std vendors golang.org/x; source files import the
+// unvendored path).
+func importerFor(l *Loader, importMap map[string]string) types.Importer {
+	return importerFunc(func(path string) (*types.Package, error) {
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		p, ok := l.pkgs[path]
+		if !ok || p.Types == nil {
+			return nil, fmt.Errorf("analysis: import %q not loaded", path)
+		}
+		return p.Types, nil
+	})
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// LoadDir parses and type-checks all non-test .go files of one directory as
+// a single package, resolving its imports (standard library only) through
+// the loader. This is the analysistest entry point: testdata packages live
+// outside the module's package graph, so `go list` cannot name them.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	p := &Package{Dir: dir, Fset: l.fset}
+	var imports []string
+	seen := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		file, err := parser.ParseFile(l.fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		p.GoFiles = append(p.GoFiles, path)
+		p.Files = append(p.Files, file)
+		for _, imp := range file.Imports {
+			ip := strings.Trim(imp.Path.Value, `"`)
+			if !seen[ip] {
+				seen[ip] = true
+				imports = append(imports, ip)
+			}
+		}
+	}
+	if len(p.Files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	p.Name = p.Files[0].Name.Name
+	p.PkgPath = p.Name
+	if len(imports) > 0 {
+		// Pull the imports' closure into the cache (deps-first, as Load).
+		listed, err := l.goList(imports)
+		if err != nil {
+			return nil, err
+		}
+		for _, lp := range listed {
+			if _, err := l.check(lp); err != nil {
+				return nil, err
+			}
+		}
+	}
+	p.TypesInfo = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	cfg := &types.Config{
+		Importer: importerFor(l, nil),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	p.Types, err = cfg.Check(p.PkgPath, l.fset, p.Files, p.TypesInfo)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", dir, err)
+	}
+	return p, nil
+}

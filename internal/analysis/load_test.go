@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"go/types"
+	"testing"
+)
+
+// TestLoadTypechecksModulePackage smokes the go list + go/types loader on a
+// real module package with a non-trivial stdlib closure.
+func TestLoadTypechecksModulePackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stdlib closure type-check in -short mode")
+	}
+	loader := NewLoader("../..")
+	pkgs, err := loader.Load("./internal/search")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("Load returned %d root packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Types == nil || p.TypesInfo == nil {
+		t.Fatal("package not type-checked")
+	}
+	if len(p.Errors) > 0 {
+		t.Fatalf("module package has type errors: %v", p.Errors[0])
+	}
+	// Object resolution must be live: the package declares findOrdered.
+	if p.Types.Scope().Lookup("Find") == nil && p.Types.Scope().Lookup("findOrdered") == nil {
+		t.Error("expected search package scope to resolve declarations")
+	}
+	// The shared importer must have cached the stdlib closure.
+	if _, ok := loader.pkgs["runtime"]; !ok {
+		t.Error("stdlib dependency runtime not cached by loader")
+	}
+}
+
+// TestLoadDirResolvesStdlibImports smokes the analysistest loading path: a
+// directory outside the module graph whose imports resolve through go list.
+func TestLoadDirResolvesStdlibImports(t *testing.T) {
+	loader := NewLoader(".")
+	p, err := loader.LoadDir("testdata/src/lockcontract")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if p.Name != "lockcontract" {
+		t.Errorf("package name = %q, want lockcontract", p.Name)
+	}
+	eng := p.Types.Scope().Lookup("Engine")
+	if eng == nil {
+		t.Fatal("Engine not in package scope")
+	}
+	st, ok := eng.Type().Underlying().(*types.Struct)
+	if !ok {
+		t.Fatalf("Engine underlying = %T, want struct", eng.Type().Underlying())
+	}
+	// The mu field must have resolved to the real sync.RWMutex.
+	found := false
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() != "mu" {
+			continue
+		}
+		named, ok := f.Type().(*types.Named)
+		if !ok || named.Obj().Pkg().Path() != "sync" {
+			t.Errorf("mu field type = %v, want sync.RWMutex", f.Type())
+		}
+		found = true
+	}
+	if !found {
+		t.Error("mu field not found on Engine")
+	}
+}

@@ -1,0 +1,197 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Maporder flags `for range` over a map on determinism-critical paths.
+// Unsorted map iteration is the canonical way route byte-identity dies: any
+// map-ordered loop whose effects can reach a route, a penalty, or an output
+// stream makes results depend on Go's randomized map hash. The driver scopes
+// this analyzer to internal/congest, internal/router, internal/search, and
+// the package-root engine files.
+//
+// A range-over-map is allowed when the loop body provably aggregates
+// order-insensitively — every statement is a commutative fold into variables
+// declared outside the loop (x++, x--, x += v, x |= v, x &= v, x ^= v, or a
+// plain `if` around only such statements) — or when the site carries a
+// //grlint:ordered <reason> annotation.
+var Maporder = &Analyzer{
+	Name: "maporder",
+	Doc: "flags for-range over a map on determinism-critical paths unless the " +
+		"body only aggregates order-insensitively or the site is annotated " +
+		"//grlint:ordered <reason>",
+	Run: runMaporder,
+}
+
+func runMaporder(pass *Pass) (any, error) {
+	pass.Inspect(func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if _, ok := pass.Directive(rng, "ordered"); ok {
+			return true
+		}
+		if orderInsensitiveBody(pass, rng) {
+			return true
+		}
+		pass.Reportf(rng.Pos(), "range over map: iteration order is nondeterministic and the body is not an order-insensitive aggregation (annotate //grlint:ordered <reason> if order cannot escape)")
+		return true
+	})
+	return nil, nil
+}
+
+// orderInsensitiveBody reports whether every statement of the range body is a
+// commutative fold into variables declared outside the loop, so the visit
+// order cannot be observed.
+func orderInsensitiveBody(pass *Pass, rng *ast.RangeStmt) bool {
+	inside := func(obj types.Object) bool {
+		return obj != nil && rng.Pos() <= obj.Pos() && obj.Pos() < rng.End()
+	}
+	var stmtOK func(s ast.Stmt) bool
+	stmtOK = func(s ast.Stmt) bool {
+		switch s := s.(type) {
+		case *ast.IncDecStmt:
+			return foldTargetOK(pass, s.X, inside) && pureExpr(pass, s.X)
+		case *ast.AssignStmt:
+			switch s.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+			default:
+				return false
+			}
+			for _, lhs := range s.Lhs {
+				if !foldTargetOK(pass, lhs, inside) || !pureExpr(pass, lhs) {
+					return false
+				}
+			}
+			for _, rhs := range s.Rhs {
+				if !pureExpr(pass, rhs) {
+					return false
+				}
+			}
+			return true
+		case *ast.IfStmt:
+			// An if whose condition is pure and whose branches only fold is
+			// still commutative (e.g. conditional counting). Conditional max/
+			// min via plain assignment is NOT allowed: ties can resolve
+			// differently per order when the key isn't part of the compare.
+			if s.Init != nil || !pureExpr(pass, s.Cond) {
+				return false
+			}
+			for _, b := range s.Body.List {
+				if !stmtOK(b) {
+					return false
+				}
+			}
+			if s.Else != nil {
+				switch e := s.Else.(type) {
+				case *ast.BlockStmt:
+					for _, b := range e.List {
+						if !stmtOK(b) {
+							return false
+						}
+					}
+				case *ast.IfStmt:
+					return stmtOK(e)
+				default:
+					return false
+				}
+			}
+			return true
+		case *ast.BranchStmt:
+			return s.Tok == token.CONTINUE
+		case *ast.EmptyStmt:
+			return true
+		default:
+			return false
+		}
+	}
+	for _, s := range rng.Body.List {
+		if !stmtOK(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// foldTargetOK reports whether lhs names a variable declared outside the
+// loop (folding into a loop-local is pointless but harmless; folding into a
+// map element indexed by the range key is order-sensitive only through the
+// index expression, which pureExpr already constrains — but writes through
+// selectors/indexes are conservatively rejected unless the base is outside).
+func foldTargetOK(pass *Pass, lhs ast.Expr, inside func(types.Object) bool) bool {
+	switch e := lhs.(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[e]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[e]
+		}
+		_, isVar := obj.(*types.Var)
+		return isVar && !inside(obj)
+	case *ast.SelectorExpr:
+		return foldTargetOK(pass, e.X, inside)
+	case *ast.IndexExpr:
+		return foldTargetOK(pass, e.X, inside)
+	default:
+		return false
+	}
+}
+
+// pureExpr reports whether e is free of calls, channel ops, and other
+// effects, so evaluating it per-iteration cannot observe order.
+func pureExpr(pass *Pass, e ast.Expr) bool {
+	pure := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// Allow len/cap/abs-style builtins and conversions; reject all
+			// other calls.
+			if !builtinOrConversion(pass, n) {
+				pure = false
+				return false
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pure = false
+				return false
+			}
+		case *ast.FuncLit:
+			pure = false
+			return false
+		}
+		return pure
+	})
+	return pure
+}
+
+// builtinOrConversion reports whether call is a builtin (len, cap, min, max)
+// or a type conversion — both effect-free.
+func builtinOrConversion(pass *Pass, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch pass.TypesInfo.Uses[fun].(type) {
+		case *types.Builtin, *types.TypeName:
+			return true
+		}
+	case *ast.SelectorExpr:
+		if _, ok := pass.TypesInfo.Uses[fun.Sel].(*types.TypeName); ok {
+			return true
+		}
+	case *ast.ArrayType, *ast.MapType, *ast.InterfaceType:
+		return true
+	}
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return true
+	}
+	return false
+}

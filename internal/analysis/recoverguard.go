@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Recoverguard keeps panic isolation centralized: a bare recover()
+// scattered through the codebase hides failures from the fault-injection
+// harness and from the deliberate panic seams (faultinject.*). Every
+// recover() must live inside a function annotated as a blessed guard:
+//
+//	//grlint:recoverguard <reason>
+//	func RecoverNetPanic(...) { ... }
+//
+// The blessing covers the whole declared function, including deferred
+// closures inside it (the only place recover() is effective anyway). The
+// blessed guards in this codebase are router.RecoverNetPanic (worker-pool
+// panic isolation) and serve's per-request recovery middleware.
+var Recoverguard = &Analyzer{
+	Name: "recoverguard",
+	Doc: "flags recover() outside functions annotated " +
+		"//grlint:recoverguard <reason>, keeping panic isolation centralized",
+	Run: runRecoverguard,
+}
+
+func runRecoverguard(pass *Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, blessed := pass.Directive(fd, "recoverguard"); blessed {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok || id.Name != "recover" {
+					return true
+				}
+				// Confirm it is the builtin, not a shadowing declaration.
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "recover" {
+					return true
+				}
+				pass.Reportf(call.Pos(), "recover() outside a blessed guard: extract into a named helper annotated //grlint:recoverguard <reason>")
+				return true
+			})
+		}
+	}
+	return nil, nil
+}

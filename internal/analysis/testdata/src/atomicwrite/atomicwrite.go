@@ -1,0 +1,66 @@
+// Golden test for the atomicwrite analyzer: persistence packages must write
+// files through the atomicWrite helper, not directly.
+package atomicwrite
+
+import "os"
+
+// writeDirect is the canonical positive: the destination is written in
+// place, so a crash mid-write leaves a torn file.
+func writeDirect(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `direct os.WriteFile in a persistence package`
+}
+
+// createDirect is positive for the same reason.
+func createDirect(path string) error {
+	f, err := os.Create(path) // want `direct os.Create in a persistence package`
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// openForWrite is positive: O_CREATE|O_WRONLY mutates the destination.
+func openForWrite(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644) // want `direct os.OpenFile in a persistence package`
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// openReadOnly is negative: O_RDONLY cannot tear anything.
+func openReadOnly(path string) ([]byte, error) {
+	f, err := os.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	n, err := f.Read(buf)
+	return buf[:n], err
+}
+
+// atomicShape is negative: CreateTemp + Rename is the atomicWrite pattern
+// itself and must stay expressible.
+func atomicShape(path string, data []byte) error {
+	f, err := os.CreateTemp(".", "atomic-*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return os.Rename(f.Name(), path)
+}
+
+// annotated is the escape hatch: a deliberate non-atomic write.
+func annotated(path string) error {
+	//grlint:rawwrite debug dump, never read back by the engine
+	return os.WriteFile(path, nil, 0o644)
+}

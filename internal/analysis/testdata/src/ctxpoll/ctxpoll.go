@@ -1,0 +1,127 @@
+// Golden test for the ctxpoll analyzer: unbounded hot-path loops must poll
+// cancellation on some path.
+package ctxpoll
+
+import "context"
+
+func work() int { return 1 }
+
+// bareSpin is the canonical positive: an infinite loop doing work with no
+// way to interrupt it.
+func bareSpin() {
+	for { // want `unbounded loop never polls cancellation`
+		work()
+	}
+}
+
+// condSpin is positive too: a condition loop is unbounded when nothing in
+// the body polls.
+func condSpin(n int) {
+	for n > 0 { // want `unbounded loop never polls cancellation`
+		work()
+		n--
+	}
+}
+
+// counted is negative: a classic three-clause loop is bounded by
+// construction.
+func counted(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += work()
+	}
+	return s
+}
+
+// callFree is negative: a loop without calls is pure arithmetic.
+func callFree(i int) int {
+	for i > 1 {
+		i /= 2
+	}
+	return i
+}
+
+// errPoll is negative: the body checks ctx.Err().
+func errPoll(ctx context.Context) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		work()
+	}
+}
+
+// selectPoll is negative: a select on the done channel is a poll.
+func selectPoll(done <-chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		work()
+	}
+}
+
+// delegates is negative: passing the context down hands the callee the
+// chance to poll.
+func delegates(ctx context.Context) {
+	for {
+		if helper(ctx) {
+			return
+		}
+	}
+}
+
+func helper(ctx context.Context) bool { return ctx.Err() != nil }
+
+// searchCtx mirrors the pooled search arena: the done channel lives in a
+// struct and polling happens through a method — found by the fixed point.
+type searchCtx struct{ done chan struct{} }
+
+func (s *searchCtx) cancelled() bool {
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *searchCtx) run() {
+	for {
+		if s.cancelled() {
+			return
+		}
+		work()
+	}
+}
+
+// heapWalk shows the bounded escape hatch: O(log n), no poll needed.
+func heapWalk(i int) {
+	//grlint:bounded heap walk is O(log n) in the arena size
+	for i > 0 {
+		work()
+		i /= 2
+	}
+}
+
+// opaquePoll shows the polls escape hatch: cancellation is checked in a way
+// the analyzer cannot see.
+func opaquePoll(step func() bool) {
+	//grlint:polls step closes over the request context and returns false on cancel
+	for {
+		if !step() {
+			return
+		}
+	}
+}
+
+// drainChan is positive: ranging a channel blocks forever if the producer
+// stalls, and nothing in the body polls.
+func drainChan(ch chan int) {
+	for v := range ch { // want `unbounded loop never polls cancellation`
+		_ = v
+		work()
+	}
+}

@@ -1,0 +1,60 @@
+// Golden test for the lockcontract analyzer: exported methods touching
+// //grlint:guardedby fields must acquire the named mutex in the right mode.
+package lockcontract
+
+import "sync"
+
+// Engine mirrors the real Engine's readers–writer contract.
+type Engine struct {
+	mu sync.RWMutex
+	//grlint:guardedby mu
+	routes []int
+	//grlint:guardedby mu
+	overflow int
+	// hits is unguarded: no annotation, no contract.
+	hits int
+}
+
+// Routes is the canonical positive: reading a guarded field with no lock.
+func (e *Engine) Routes() []int { // want `reads guarded field routes without acquiring mu`
+	return e.routes
+}
+
+// RoutesLocked is negative: shared mode suffices for a read.
+func (e *Engine) RoutesLocked() []int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return append([]int(nil), e.routes...)
+}
+
+// SetOverflow is positive: a write under RLock is the wrong mode.
+func (e *Engine) SetOverflow(v int) { // want `writes guarded field overflow without mu.Lock\(\)`
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	e.overflow = v
+}
+
+// SetOverflowLocked is negative: exclusive mode for a write.
+func (e *Engine) SetOverflowLocked(v int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.overflow = v
+}
+
+// Hits is negative: the field carries no guardedby annotation.
+func (e *Engine) Hits() int {
+	return e.hits
+}
+
+// Peek is the escape hatch: callers hold the lock across the transaction.
+//
+//grlint:locked callers hold mu across the ECO transaction
+func (e *Engine) Peek() int {
+	return e.overflow
+}
+
+// peek is negative by convention: unexported helpers run under their
+// exported caller's lock and are out of the analyzer's scope.
+func (e *Engine) peek() int {
+	return e.overflow
+}

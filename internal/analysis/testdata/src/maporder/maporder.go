@@ -1,0 +1,101 @@
+// Golden test for the maporder analyzer: range-over-map on a
+// determinism-critical path must aggregate order-insensitively or carry a
+// //grlint:ordered annotation.
+package maporder
+
+import "sort"
+
+func sink(string) {}
+
+// orderEscapes is the canonical positive: appending map keys in iteration
+// order leaks the nondeterministic order into the result.
+func orderEscapes(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `range over map: iteration order is nondeterministic`
+		out = append(out, k)
+	}
+	return out
+}
+
+// callEscapes is positive too: calling out of the loop body can observe the
+// visit order even without an append.
+func callEscapes(m map[string]int) {
+	for k := range m { // want `range over map: iteration order is nondeterministic`
+		sink(k)
+	}
+}
+
+// aggregates is negative: every statement is a commutative fold into
+// variables declared outside the loop.
+func aggregates(m map[string]int) (int, int) {
+	total, n := 0, 0
+	for _, v := range m {
+		total += v
+		n++
+	}
+	return total, n
+}
+
+// conditionalCount is negative: an if around pure folds stays commutative.
+func conditionalCount(m map[string]int, cutoff int) int {
+	c := 0
+	for _, v := range m {
+		if v > cutoff {
+			c++
+		} else if v < 0 {
+			c--
+		}
+	}
+	return c
+}
+
+// perKeyFold is negative: folding into a map element indexed by the range
+// key touches each element exactly once, so order cannot matter.
+func perKeyFold(m map[string]int, acc map[string]int) {
+	for k, v := range m {
+		acc[k] += v
+	}
+}
+
+// conditionalMax is positive: plain assignment inside the if is not a
+// commutative fold — ties between equal values resolve by visit order.
+func conditionalMax(m map[string]string) string {
+	best := ""
+	for _, v := range m { // want `range over map: iteration order is nondeterministic`
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// annotated is the escape hatch: order is killed by the sort below.
+func annotated(m map[string]int) []string {
+	var keys []string
+	//grlint:ordered keys are sorted before use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// bareDirective shows that an annotation without a reason silences nothing
+// and is itself reported.
+func bareDirective(m map[string]int) []string {
+	var keys []string
+	//grlint:ordered
+	for k := range m { // want `grlint:ordered directive needs a reason` `range over map: iteration order is nondeterministic`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// sliceRange is negative: not a map.
+func sliceRange(s []int) int {
+	t := 0
+	for _, v := range s {
+		t += v
+	}
+	return t
+}

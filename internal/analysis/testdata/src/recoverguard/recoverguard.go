@@ -1,0 +1,34 @@
+// Golden test for the recoverguard analyzer: recover() only inside blessed
+// guard functions.
+package recoverguard
+
+// inlineRecover is the canonical positive: an ad-hoc recover hides panics
+// from the fault-injection harness.
+func inlineRecover() (err error) {
+	defer func() {
+		if r := recover(); r != nil { // want `recover\(\) outside a blessed guard`
+			err = nil
+		}
+	}()
+	return nil
+}
+
+// RecoverNetPanic mirrors the real blessed guard: the annotation covers the
+// whole function, deferred closures included.
+//
+//grlint:recoverguard worker-pool panic isolation seam, exercised by faultinject
+func RecoverNetPanic(fn func()) (panicked bool) {
+	defer func() {
+		if recover() != nil {
+			panicked = true
+		}
+	}()
+	fn()
+	return false
+}
+
+// shadowed is negative: a local identifier named recover is not the builtin.
+func shadowed() int {
+	recover := func() int { return 7 }
+	return recover()
+}

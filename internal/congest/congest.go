@@ -303,15 +303,17 @@ func (m *Map) TotalOverflow() int {
 // AffectedNets returns the sorted set of net indices that use any
 // overflowed passage.
 func (m *Map) AffectedNets() []int {
+	// The map is membership-only; the result is collected during the slice
+	// walk, so no map iteration order can reach the (sorted) output.
 	seen := map[int]bool{}
+	var out []int
 	for _, pi := range m.Overflowed() {
 		for _, ni := range m.netsThrough[pi] {
-			seen[ni] = true
+			if !seen[ni] {
+				seen[ni] = true
+				out = append(out, ni)
+			}
 		}
-	}
-	out := make([]int, 0, len(seen))
-	for ni := range seen {
-		out = append(out, ni)
 	}
 	sort.Ints(out)
 	return out

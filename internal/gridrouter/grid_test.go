@@ -35,7 +35,7 @@ func TestFromPlaneRasterization(t *testing.T) {
 	if g.Blocked(40, 50) || g.Blocked(60, 50) || g.Blocked(50, 40) || g.Blocked(50, 60) {
 		t.Error("cell boundary should be free")
 	}
-	if g.Blocked(41, 41) == false {
+	if !g.Blocked(41, 41) {
 		t.Error("(41,41) is strictly inside")
 	}
 	if g.Blocked(39, 50) {

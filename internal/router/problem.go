@@ -311,6 +311,7 @@ func mergeSorted[T any](dst, add []T, less func(a, b T) bool) []T {
 	n := len(dst)
 	dst = append(dst, add...)
 	i, j, w := n-1, len(add)-1, len(dst)-1
+	//grlint:bounded merge of two finite sorted slices; one cursor retreats per iteration
 	for i >= 0 && j >= 0 {
 		if less(add[j], dst[i]) {
 			dst[w] = dst[i]
@@ -379,6 +380,7 @@ func (ix *targetIndex) nearest(p geom.Point) (geom.Point, geom.Coord) {
 	vl := vr - 1
 	hr := sort.Search(len(ix.hsegs), func(k int) bool { return ix.hsegs[k].At >= p.Y })
 	hl := hr - 1
+	//grlint:bounded each iteration retires one frontier cursor over four finite sorted tables
 	for {
 		minD := geom.Coord(-1)
 		minF := -1

@@ -124,6 +124,8 @@ func (e *PanicError) Error() string {
 // RecoverNetPanic is the shared per-net recover guard: deferred around a
 // single-net route, it converts a panic into a not-Found NetRoute and a
 // *PanicError carrying the stack. It must be called directly by defer.
+//
+//grlint:recoverguard the per-net panic isolation seam, exercised by faultinject
 func RecoverNetPanic(net string, nr *NetRoute, err *error) {
 	if v := recover(); v != nil {
 		*nr = NetRoute{Net: net}

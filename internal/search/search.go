@@ -261,6 +261,7 @@ func (c *Context[S]) heapSwap(i, j int) {
 }
 
 func (c *Context[S]) heapUp(i int) {
+	//grlint:bounded heap walk is O(log n) in the open-list size
 	for i > 0 {
 		parent := (i - 1) / 2
 		if !c.heapLess(c.open[i], c.open[parent]) {
@@ -273,6 +274,7 @@ func (c *Context[S]) heapUp(i int) {
 
 func (c *Context[S]) heapDown(i int) {
 	n := len(c.open)
+	//grlint:bounded heap walk is O(log n) in the open-list size
 	for {
 		l := 2*i + 1
 		if l >= n {

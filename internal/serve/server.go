@@ -240,6 +240,8 @@ func (s *Server) admit(op string, h http.HandlerFunc) http.HandlerFunc {
 // recoverPanics converts a handler panic into a 500 with a degraded-marked
 // body. The session an engine panic escaped from stays resident and
 // healthy — the failure is isolated to the request.
+//
+//grlint:recoverguard the per-request panic isolation boundary; ErrAbortHandler is re-panicked
 func (s *Server) recoverPanics(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
