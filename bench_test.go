@@ -8,7 +8,9 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"path/filepath"
 	"testing"
+	"time"
 
 	"repro"
 
@@ -457,6 +459,70 @@ func BenchmarkECOReroute(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkECOJournalCommit prices the write-ahead ECO journal at the
+// 64x64 macro scale: the same deterministic sequence of 5-net rip/re-add
+// commits runs against two prepared sessions — one plain, one with
+// WithJournalFile — and the journaled mean per commit must stay within 25%
+// of the unjournaled one (CI gates journal-overhead-pct<=25). The
+// journaled cost is everything durability adds: the lazy base fold on the
+// first commit (layout JSON + full Save frame), per-record encode and
+// CRC, and the fsync before each install.
+func BenchmarkECOJournalCommit(b *testing.B) {
+	l, err := genroute.MacroGrid(64, 64, 40, 30, 12, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	prep := func(extra ...genroute.Option) *genroute.Engine {
+		opts := append([]genroute.Option{genroute.WithPitch(4)}, extra...)
+		e, err := genroute.NewEngine(l, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.RouteNegotiated(ctx); err != nil {
+			b.Fatal(err)
+		}
+		return e
+	}
+	const commits = 8
+	run := func(e *genroute.Engine) time.Duration {
+		start := time.Now()
+		for i := 0; i < commits; i++ {
+			tx := e.Edit()
+			for k := 0; k < 5; k++ {
+				net := e.Layout().Nets[500*k+7]
+				if err := tx.RemoveNet(net.Name); err != nil {
+					b.Fatal(err)
+				}
+				net.Name = fmt.Sprintf("eco%d_%d", i, k)
+				if err := tx.AddNet(net); err != nil {
+					b.Fatal(err)
+				}
+			}
+			eco, err := tx.Commit(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(eco.Dirty) != 5 {
+				b.Fatalf("commit dirtied %d nets, want 5", len(eco.Dirty))
+			}
+		}
+		return time.Since(start)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		plain := prep()
+		journaled := prep(genroute.WithJournalFile(filepath.Join(b.TempDir(), "eco.jrnl")))
+		b.StartTimer()
+		tu := run(plain)
+		tj := run(journaled)
+		b.ReportMetric(float64(tu)/commits/1e6, "unjournaled-ms/commit")
+		b.ReportMetric(float64(tj)/commits/1e6, "journaled-ms/commit")
+		b.ReportMetric(100*(float64(tj)-float64(tu))/float64(tu), "journal-overhead-pct")
+	}
 }
 
 // BenchmarkMacroGridRoute routes the full macro-scale scenario — a 32x32

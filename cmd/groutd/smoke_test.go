@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/exec"
@@ -147,6 +148,92 @@ func runDaemonSmoke(b *testing.B, bin, snapdir string, l *genroute.Layout, layou
 	b.ReportMetric(100*warmBig.PrepareMS/coldBig.PrepareMS, "warm-vs-cold-pct")
 }
 
+// BenchmarkDaemonSmokeKillRecover is the crash-recovery smoke for the real
+// binary: serve a 32×32 session, negotiate it, commit a burst of ECO
+// edits, then kill -9 the daemon the instant the last edit is
+// acknowledged — no drain, no persistAll; the per-commit fsynced journal
+// is the only durability. A fresh daemon over the same snapshot directory
+// must warm-start the session from its journal and serve wires
+// byte-identical to the pre-kill state at the JSON boundary. CI gates
+// `recovered-identical/op=1` via benchreport -require.
+//
+// Run as: go test -run=NONE -bench=DaemonSmokeKillRecover -benchtime=1x ./cmd/groutd
+func BenchmarkDaemonSmokeKillRecover(b *testing.B) {
+	if testing.Short() {
+		b.Skip("daemon smoke builds and runs the binary")
+	}
+	dir := b.TempDir()
+	bin := filepath.Join(dir, "groutd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		b.Fatalf("building groutd: %v\n%s", err, out)
+	}
+	snapdir := filepath.Join(dir, "snapshots")
+
+	l, err := genroute.MacroGrid(32, 32, 40, 30, 12, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var layoutJSON bytes.Buffer
+	if err := genroute.WriteLayout(&layoutJSON, l); err != nil {
+		b.Fatal(err)
+	}
+
+	for i := 0; i < b.N; i++ {
+		runKillRecover(b, bin, snapdir, l, layoutJSON.Bytes())
+	}
+}
+
+func runKillRecover(b *testing.B, bin, snapdir string, l *genroute.Layout, layoutJSON []byte) {
+	os.RemoveAll(snapdir)
+
+	d := startDaemon(b, bin, snapdir)
+	sr := smokeCreateSession(b, d, layoutJSON, "pitch=4&weight=40&passes=2")
+	var nr struct {
+		Converged bool `json:"converged"`
+	}
+	if code := smokePost(b, d.url("/v1/sessions/"+sr.Hash+"/negotiate"), []byte(`{}`), &nr); code != http.StatusOK || !nr.Converged {
+		b.Fatalf("negotiate = %d converged=%v", code, nr.Converged)
+	}
+
+	// The ECO burst: each request is acknowledged only after its journal
+	// record is fsynced, so every edit below must survive the kill.
+	for k := 0; k < 4; k++ {
+		var er struct {
+			Dirty []string `json:"dirty"`
+		}
+		body := fmt.Sprintf(`{"ops":[{"op":"remove_net","name":%q}]}`, l.Nets[50*k+3].Name)
+		if code := smokePost(b, d.url("/v1/sessions/"+sr.Hash+"/eco"), []byte(body), &er); code != http.StatusOK {
+			b.Fatalf("eco %d = %d", k, code)
+		}
+	}
+	wires := smokeGetBody(b, d.url("/v1/sessions/"+sr.Hash+"/wires"))
+
+	// kill -9, mid-burst from the daemon's point of view: the last commit
+	// was acknowledged microseconds ago and nothing has been drained.
+	if err := d.cmd.Process.Kill(); err != nil {
+		b.Fatal(err)
+	}
+	d.cmd.Wait()
+
+	d2 := startDaemon(b, bin, snapdir)
+	back := smokeCreateSession(b, d2, layoutJSON, "pitch=4&weight=40&passes=2")
+	if !back.Warm || back.Hash != sr.Hash {
+		b.Fatalf("recovery create = %+v, want warm journal recovery of %s", back, sr.Hash)
+	}
+	recovered := smokeGetBody(b, d2.url("/v1/sessions/"+sr.Hash+"/wires"))
+	identical := 0.0
+	if bytes.Equal(wires, recovered) {
+		identical = 1
+	} else {
+		b.Errorf("recovered wires diverge from pre-kill wires (%d vs %d bytes)", len(recovered), len(wires))
+	}
+	d2.cmd.Process.Signal(syscall.SIGTERM)
+	d2.cmd.Wait()
+
+	b.ReportMetric(identical, "recovered-identical/op")
+	b.ReportMetric(float64(back.PrepareMS), "journal-recover-ms")
+}
+
 // daemon is one running groutd subprocess with its parsed listen address.
 type daemon struct {
 	cmd  *exec.Cmd
@@ -229,6 +316,25 @@ func smokePost(b *testing.B, url string, body []byte, out any) int {
 		}
 	}
 	return resp.StatusCode
+}
+
+// smokeGetBody fetches url and returns the raw response bytes — the JSON
+// boundary the crash-recovery check compares byte-for-byte.
+func smokeGetBody(b *testing.B, url string) []byte {
+	b.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		b.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		b.Fatalf("GET %s: reading body: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("GET %s = %d (%s)", url, resp.StatusCode, body)
+	}
+	return body
 }
 
 func smokeGet(b *testing.B, url string) int {

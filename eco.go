@@ -13,6 +13,7 @@ import (
 	"repro/internal/layout"
 	"repro/internal/plane"
 	"repro/internal/router"
+	"repro/internal/snapshot"
 )
 
 // Edit is a staged ECO (engineering change order) transaction over an
@@ -406,6 +407,19 @@ func (tx *Edit) Commit(ctx context.Context) (res *ECOResult, err error) {
 		return nil, ferr
 	}
 
+	// 7b. Write-ahead journal: with WithJournalFile, the staged edit set is
+	// appended and fsynced here, after everything fallible and immediately
+	// before the plain-assignment install — so a journaled record and the
+	// installed state can only diverge by a crash inside the assignments
+	// below, which replay then completes (unacked-record-may-apply, the
+	// standard WAL contract). A journal failure aborts the commit with the
+	// engine untouched.
+	if e.cfg.jrnlPath != "" {
+		if jerr := e.journalAppendLocked(tx, snapshot.LayoutHash(l2)); jerr != nil {
+			return nil, fmt.Errorf("genroute: ECO journal append: %w", jerr)
+		}
+	}
+
 	// 8. Install the new session state (also on cancellation: the partial
 	// repair is consistent — routes, map and history agree).
 	tx.committed = true
@@ -422,8 +436,18 @@ func (tx *Edit) Commit(ctx context.Context) (res *ECOResult, err error) {
 	final := cur2
 	if len(rres.Results) > 0 {
 		final = rres.Final()
+	} else {
+		// No repair pass ran (pure removals, nothing dirty, no overflow):
+		// the carried-over routes are installed as-is, so recompute the
+		// aggregates — otherwise Result().TotalLength would read 0 after
+		// such a commit.
+		final.Finalize(start)
 	}
 	e.setState(final, m2, append([]int(nil), rres.History...))
+
+	// 9. Fold the journal when it has outgrown its thresholds (non-fatal:
+	// the commit above is already durable either way).
+	e.journalCompactLocked()
 
 	out := &ECOResult{
 		Dirty:     netNames(l2, dirtyList),

@@ -9,6 +9,7 @@ import (
 	"repro/internal/adjust"
 	"repro/internal/congest"
 	"repro/internal/detail"
+	"repro/internal/journal"
 	"repro/internal/plane"
 	"repro/internal/router"
 )
@@ -77,6 +78,10 @@ type Engine struct {
 	cur     *router.LayoutResult //grlint:guardedby mu
 	m       *congest.Map         //grlint:guardedby mu
 	history []int                //grlint:guardedby mu
+
+	// jr is the write-ahead ECO journal (nil until WithJournalFile's first
+	// committed edit creates it, or LoadEngineJournal attaches it).
+	jr *journal.Journal //grlint:guardedby mu
 
 	// lhash memoizes the layout fingerprint for Save and checkpoint writes
 	// (0 = not yet computed; ECO commits reset it). Atomic so concurrent

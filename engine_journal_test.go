@@ -1,0 +1,504 @@
+package genroute
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/journal"
+)
+
+// journaledEngine builds a routed session over gridScene(n) with the ECO
+// journal at a temp path, returning both.
+func journaledEngine(t testing.TB, n int, extra ...Option) (*Engine, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "eco.jrnl")
+	opts := append([]Option{WithPitch(1), WithWorkers(1), WithJournalFile(path)}, extra...)
+	e, err := NewEngine(gridScene(t, n), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RouteNegotiated(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return e, path
+}
+
+// commitOps stages and commits one edit set, failing the test on error.
+func commitOps(t testing.TB, e *Engine, stage func(tx *Edit) error) {
+	t.Helper()
+	tx := e.Edit()
+	if err := stage(tx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// checkRecovered asserts a journal-recovered session matches the live one:
+// byte-identical routes, same layout fingerprint, consistent state, and
+// still editable (the recovered journal accepts further commits).
+func checkRecovered(t *testing.T, live *Engine, path string) {
+	t.Helper()
+	rec, err := LoadEngineJournal(path, WithWorkers(1))
+	if err != nil {
+		t.Fatalf("LoadEngineJournal: %v", err)
+	}
+	if rec.layoutHash() != live.layoutHash() {
+		t.Fatalf("recovered layout fingerprint %016x, live %016x", rec.layoutHash(), live.layoutHash())
+	}
+	checkSameRoutes(t, rec.Result(), live.Result())
+	checkEngineConsistency(t, rec)
+	// The recovered session is live: a further edit commits and journals.
+	commitOps(t, rec, func(tx *Edit) error {
+		return tx.AddNet(padNet("post_recovery", 3, rec.Layout().Bounds.MaxX))
+	})
+	if st, ok := rec.JournalStats(); !ok || st.Records == 0 {
+		t.Fatalf("recovered session did not journal its next commit: %+v ok=%v", st, ok)
+	}
+}
+
+// TestJournalReplayEqualsLive is the core recovery property: after a
+// sequence of committed edits (adds, removes, cell moves), rebuilding the
+// session from the journal alone reproduces the live session's routes
+// byte-identically.
+func TestJournalReplayEqualsLive(t *testing.T) {
+	e, path := journaledEngine(t, 3)
+	maxX := e.Layout().Bounds.MaxX
+
+	commitOps(t, e, func(tx *Edit) error { return tx.AddNet(padNet("j_a", 5, maxX)) })
+	commitOps(t, e, func(tx *Edit) error {
+		if err := tx.AddNet(padNet("j_b", 9, maxX)); err != nil {
+			return err
+		}
+		return tx.RemoveNet(e.Layout().Nets[0].Name)
+	})
+	commitOps(t, e, func(tx *Edit) error {
+		return tx.MoveCell(e.Layout().Cells[0].Name, 2, 1)
+	})
+	commitOps(t, e, func(tx *Edit) error { return tx.RemoveNet("j_a") })
+
+	if st, ok := e.JournalStats(); !ok || st.Records != 4 {
+		t.Fatalf("journal stats = %+v ok=%v, want 4 records", st, ok)
+	}
+	checkRecovered(t, e, path)
+}
+
+// TestJournalReplayAfterCompaction drives enough commits through a tight
+// fold threshold that the journal rebases mid-history: recovery then
+// starts from the folded base rather than the creation state, and must
+// still land byte-identical to the live session.
+func TestJournalReplayAfterCompaction(t *testing.T) {
+	e, path := journaledEngine(t, 3, WithJournalCompaction(2, 0))
+	maxX := e.Layout().Bounds.MaxX
+	for i := 0; i < 5; i++ {
+		y := int64(3 + 2*i)
+		commitOps(t, e, func(tx *Edit) error {
+			return tx.AddNet(padNet(fmt.Sprintf("fold%d", i), y, maxX))
+		})
+	}
+	st, ok := e.JournalStats()
+	if !ok {
+		t.Fatal("no journal stats")
+	}
+	if st.Records >= 5 {
+		t.Fatalf("journal never compacted: %d records", st.Records)
+	}
+	s, err := journal.ScanFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Records) != st.Records {
+		t.Fatalf("on-disk records %d, stats say %d", len(s.Records), st.Records)
+	}
+	checkRecovered(t, e, path)
+}
+
+// TestJournalReplayEqualsLiveRandomized drives random edit scripts —
+// mirroring TestECORandomizedEquivalence, with cell moves added — and
+// checks the recovery property after every commit, with and without
+// compaction pressure.
+func TestJournalReplayEqualsLiveRandomized(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized replay property skipped in -short mode")
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(seed))
+			var opts []Option
+			if seed%2 == 0 {
+				opts = append(opts, WithJournalCompaction(3, 0))
+			}
+			e, path := journaledEngine(t, 3, opts...)
+			maxX := e.Layout().Bounds.MaxX
+			added := 0
+			for step := 0; step < 4; step++ {
+				tx := e.Edit()
+				for k, ops := 0, r.Intn(3)+1; k < ops; k++ {
+					switch r.Intn(3) {
+					case 0:
+						added++
+						if err := tx.AddNet(padNet(fmt.Sprintf("rnd%d", added), int64(3+r.Intn(18)), maxX)); err != nil {
+							t.Fatal(err)
+						}
+					case 1:
+						nets := e.Layout().Nets
+						name := nets[r.Intn(len(nets))].Name
+						if tx.netExists(name) {
+							if err := tx.RemoveNet(name); err != nil {
+								t.Fatal(err)
+							}
+						}
+					case 2:
+						cells := e.Layout().Cells
+						name := cells[r.Intn(len(cells))].Name
+						if err := tx.MoveCell(name, int64(r.Intn(5)-2), int64(r.Intn(5)-2)); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				if tx.Len() == 0 {
+					continue
+				}
+				if _, err := tx.Commit(context.Background()); err != nil {
+					// Geometric rejection leaves both the engine and the
+					// journal untouched; the property must still hold.
+					continue
+				}
+				rec, err := LoadEngineJournal(path, WithWorkers(1))
+				if err != nil {
+					t.Fatalf("step %d: LoadEngineJournal: %v", step, err)
+				}
+				checkSameRoutes(t, rec.Result(), e.Result())
+			}
+		})
+	}
+}
+
+// TestJournalKillAnywhere is the chaos harness: for every journal fault
+// seam, and for every firing of that seam across an edit burst, inject a
+// failure and then recover the session from disk.
+//
+// The property, per the WAL contract: no acknowledged edit may be lost,
+// and the journal must never be poisoned. A failed commit is not
+// acknowledged and leaves the live engine untouched, so the recovered
+// session must match the live burst engine byte-identically — except in
+// one documented case: a fault between an append's write and its
+// acknowledgment can leave the record durable on disk with no later
+// append to roll it back (only possible for the burst's final record).
+// Replay then applies that unacknowledged edit — acked+1, the standard
+// WAL outcome — and recovery must land exactly on the state the failed
+// commit would have installed.
+func TestJournalKillAnywhere(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep skipped in -short mode")
+	}
+	seams := []faultinject.Point{
+		faultinject.JournalAppend,
+		faultinject.JournalSync,
+		faultinject.JournalRename,
+		faultinject.JournalCompact,
+		faultinject.JournalApply,
+	}
+	for _, seam := range seams {
+		seam := seam
+		t.Run(seam.String(), func(t *testing.T) {
+			// First pass: count how often the seam fires (for JournalApply,
+			// during a recovery of the clean burst's journal).
+			fires := countSeamFires(t, seam)
+			if fires == 0 && (seam == faultinject.JournalAppend || seam == faultinject.JournalApply) {
+				t.Fatalf("burst never hit the %v seam", seam)
+			}
+			for idx := 0; idx < fires; idx++ {
+				idx := idx
+				t.Run(fmt.Sprintf("fire%d", idx), func(t *testing.T) {
+					if seam == faultinject.JournalApply {
+						runKillAnywhereReplay(t, idx)
+					} else {
+						runKillAnywhereBurst(t, seam, idx)
+					}
+				})
+			}
+		})
+	}
+}
+
+// chaosBurst drives a fixed 6-commit edit burst (adds, removes, a move)
+// over a journaled session, ignoring commit errors — an injected fault
+// fails that commit, and the burst carries on, exactly like a client
+// whose request errored against a daemon with a hiccuping disk. It
+// returns the stage closure of the last commit that failed with no
+// successful commit after it (nil if none): the only candidate for a
+// durable-but-unacknowledged journal record.
+func chaosBurst(t testing.TB, e *Engine) (trailingFailed func(tx *Edit) error) {
+	t.Helper()
+	maxX := e.Layout().Bounds.MaxX
+	step := func(stage func(tx *Edit) error) {
+		tx := e.Edit()
+		if err := stage(tx); err != nil {
+			return // staging against a state an earlier failed commit left
+		}
+		if _, err := tx.Commit(context.Background()); err != nil {
+			trailingFailed = stage
+		} else {
+			trailingFailed = nil
+		}
+	}
+	step(func(tx *Edit) error { return tx.AddNet(padNet("c_a", 5, maxX)) })
+	step(func(tx *Edit) error { return tx.AddNet(padNet("c_b", 9, maxX)) })
+	step(func(tx *Edit) error { return tx.RemoveNet("c_a") })
+	step(func(tx *Edit) error { return tx.MoveCell(e.Layout().Cells[0].Name, 1, 2) })
+	step(func(tx *Edit) error { return tx.AddNet(padNet("c_c", 13, maxX)) })
+	step(func(tx *Edit) error { return tx.RemoveNet(e.Layout().Nets[0].Name) })
+	return trailingFailed
+}
+
+// routesEqual is checkSameRoutes as a predicate.
+func routesEqual(got, want *Result) bool {
+	if len(got.Nets) != len(want.Nets) || got.TotalLength != want.TotalLength {
+		return false
+	}
+	g, w := routesByName(got), routesByName(want)
+	for name, ws := range w {
+		if !sameSegs(g[name], ws) {
+			return false
+		}
+	}
+	return true
+}
+
+// countSeamFires runs the burst (and, for the replay seam, a recovery)
+// with a counting hook and reports how many times the seam fired.
+func countSeamFires(t *testing.T, seam faultinject.Point) int {
+	// The write-side sweeps run under a tight fold threshold to hit the
+	// compaction seams; the replay sweep keeps the default so the burst's
+	// records survive to be re-applied (a tight fold would leave zero).
+	var opts []Option
+	if seam != faultinject.JournalApply {
+		opts = append(opts, WithJournalCompaction(2, 0))
+	}
+	e, path := journaledEngine(t, 2, opts...)
+	n := 0
+	restore := faultinject.Enable(func(s faultinject.Site) faultinject.Fault {
+		if s.Point == seam {
+			n++
+		}
+		return faultinject.None
+	})
+	defer restore()
+	chaosBurst(t, e)
+	if seam == faultinject.JournalApply {
+		if err := e.CloseJournal(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadEngineJournal(path, WithWorkers(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return n
+}
+
+// runKillAnywhereBurst injects an error at the idx-th firing of seam
+// during the burst, then recovers from the journal and asserts the
+// kill-anywhere property.
+func runKillAnywhereBurst(t *testing.T, seam faultinject.Point, idx int) {
+	e, path := journaledEngine(t, 2, WithJournalCompaction(2, 0))
+	n := 0
+	restore := faultinject.Enable(func(s faultinject.Site) faultinject.Fault {
+		if s.Point == seam {
+			n++
+			if n-1 == idx {
+				return faultinject.Error
+			}
+		}
+		return faultinject.None
+	})
+	trailingFailed := chaosBurst(t, e)
+	restore()
+	if err := e.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := LoadEngineJournal(path, WithWorkers(1))
+	if err != nil {
+		t.Fatalf("recovery after %v fault #%d: %v", seam, idx, err)
+	}
+	checkEngineConsistency(t, rec)
+	if routesEqual(rec.Result(), e.Result()) {
+		return
+	}
+	// The one blessed divergence: the burst's trailing failed commit left
+	// a durable-but-unacknowledged record that replay applied. Committing
+	// that same edit on the live engine must reconverge the two.
+	if trailingFailed == nil {
+		t.Fatalf("recovered state diverges from live with no trailing failed commit (%v fault #%d)", seam, idx)
+	}
+	commitOps(t, e, trailingFailed)
+	checkSameRoutes(t, rec.Result(), e.Result())
+	if rec.layoutHash() != e.layoutHash() {
+		t.Fatalf("recovered fingerprint %016x, live %016x", rec.layoutHash(), e.layoutHash())
+	}
+}
+
+// runKillAnywhereReplay injects an error at the idx-th record application
+// during recovery: the recovery must fail closed (no half-replayed
+// session), and a clean retry must then recover the full state.
+func runKillAnywhereReplay(t *testing.T, idx int) {
+	e, path := journaledEngine(t, 2)
+	if failed := chaosBurst(t, e); failed != nil {
+		t.Fatal("clean burst had a failed commit")
+	}
+	if err := e.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	restore := faultinject.Enable(func(s faultinject.Site) faultinject.Fault {
+		if s.Point == faultinject.JournalApply {
+			n++
+			if n-1 == idx {
+				return faultinject.Error
+			}
+		}
+		return faultinject.None
+	})
+	_, err := LoadEngineJournal(path, WithWorkers(1))
+	restore()
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("replay under apply fault #%d = %v, want injected error", idx, err)
+	}
+	rec, err := LoadEngineJournal(path, WithWorkers(1))
+	if err != nil {
+		t.Fatalf("clean retry after apply fault: %v", err)
+	}
+	checkSameRoutes(t, rec.Result(), e.Result())
+	checkEngineConsistency(t, rec)
+}
+
+// TestJournalTornTailRecovery scribbles a torn tail onto a live journal
+// (as a crash mid-append would) and checks recovery tolerates it: every
+// acknowledged record survives, the tail is truncated, and the recovered
+// session keeps accepting edits.
+func TestJournalTornTailRecovery(t *testing.T) {
+	e, path := journaledEngine(t, 2)
+	maxX := e.Layout().Bounds.MaxX
+	commitOps(t, e, func(tx *Edit) error { return tx.AddNet(padNet("t_a", 5, maxX)) })
+	commitOps(t, e, func(tx *Edit) error { return tx.AddNet(padNet("t_b", 9, maxX)) })
+	if err := e.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+	// A crash mid-append: half a frame of garbage after the last record.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("GRJRNL\x01\x00torn")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	rec, err := LoadEngineJournal(path, WithWorkers(1))
+	if err != nil {
+		t.Fatalf("recovery over torn tail: %v", err)
+	}
+	checkSameRoutes(t, rec.Result(), e.Result())
+	// The torn bytes are gone and the journal continues cleanly.
+	commitOps(t, rec, func(tx *Edit) error { return tx.AddNet(padNet("t_c", 13, maxX)) })
+	s, err := journal.ScanFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Torn || len(s.Records) != 3 {
+		t.Fatalf("after torn-tail recovery + commit: torn=%v records=%d", s.Torn, len(s.Records))
+	}
+}
+
+// TestJournalUnjournaledEngineHasNoJournal: without WithJournalFile, ECO
+// commits write nothing and JournalStats reports absence.
+func TestJournalUnjournaledEngineHasNoJournal(t *testing.T) {
+	e, err := NewEngine(gridScene(t, 2), WithPitch(1), WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RouteNegotiated(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	commitOps(t, e, func(tx *Edit) error {
+		return tx.AddNet(padNet("nj", 5, e.Layout().Bounds.MaxX))
+	})
+	if _, ok := e.JournalStats(); ok {
+		t.Fatal("unjournaled engine reports journal stats")
+	}
+}
+
+// FuzzJournalReplay feeds arbitrary bytes to the full recovery path:
+// LoadEngineJournal must return a working session or a typed/classifiable
+// error — never panic, never a silently wrong session (the per-record
+// fingerprint check is what turns "wrong" into an error).
+func FuzzJournalReplay(f *testing.F) {
+	// Seed with a genuine journal plus damaged variants.
+	dir, err := os.MkdirTemp("", "jrnlfuzz")
+	if err != nil {
+		f.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "seed.jrnl")
+	e, err := NewEngine(gridScene(f, 2), WithPitch(1), WithWorkers(1), WithJournalFile(path))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := e.RouteNegotiated(context.Background()); err != nil {
+		f.Fatal(err)
+	}
+	maxX := e.Layout().Bounds.MaxX
+	for i := 0; i < 2; i++ {
+		tx := e.Edit()
+		if err := tx.AddNet(padNet(fmt.Sprintf("s%d", i), int64(5+4*i), maxX)); err != nil {
+			f.Fatal(err)
+		}
+		if _, err := tx.Commit(context.Background()); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := e.CloseJournal(); err != nil {
+		f.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add(good[:len(good)-5]) // torn tail
+	flip := append([]byte(nil), good...)
+	flip[len(flip)/2] ^= 0x20 // bit flip
+	f.Add(flip)
+	skew := append([]byte(nil), good...)
+	skew[6] = 0x7e // version skew in the first frame
+	f.Add(skew)
+	f.Add([]byte{})
+	f.Add([]byte("GRJRNL"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := filepath.Join(t.TempDir(), "fuzz.jrnl")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := LoadEngineJournal(p, WithWorkers(1))
+		if err != nil {
+			for _, typed := range []error{ErrSnapshotFormat, ErrSnapshotVersion, ErrSnapshotChecksum,
+				ErrSnapshotCorrupt, ErrSnapshotLayout} {
+				if errors.Is(err, typed) {
+					return
+				}
+			}
+			t.Fatalf("replay error %v is not typed", err)
+		}
+		// A successful recovery must be a consistent session.
+		checkEngineConsistency(t, rec)
+	})
+}

@@ -58,17 +58,7 @@ func (e *Engine) layoutHash() uint64 {
 func (e *Engine) Save(w io.Writer) error {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	sess := &snapshot.Session{
-		LayoutHash: e.layoutHash(),
-		Pitch:      e.cfg.congest.Pitch,
-		Passages:   e.passages,
-	}
-	if e.cur != nil {
-		sess.Routed = true
-		sess.Nets = e.cur.Nets
-		sess.History = e.history
-	}
-	return snapshot.EncodeSession(w, sess)
+	return e.saveLocked(w)
 }
 
 // LoadEngine rebuilds a prepared session from a snapshot written by Save.

@@ -111,6 +111,9 @@ type config struct {
 	progress    ProgressFunc
 	ckptPath    string
 	ckptEvery   int
+	jrnlPath    string
+	jrnlRecords int
+	jrnlBytes   int64
 }
 
 // newConfig applies the options over the engine defaults.

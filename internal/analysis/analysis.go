@@ -35,6 +35,8 @@
 //	//grlint:locked <reason>    — method's locking is managed by its callers
 //	                              or is documented exempt from the contract
 //	//grlint:rawwrite <reason>  — deliberate non-atomic file write
+//	//grlint:nosync <reason>    — file write whose durability (fsync) is
+//	                              provably the caller's responsibility
 //	//grlint:recoverguard <reason> — function declaration annotation: this
 //	                              function is a blessed panic-isolation guard
 //	//grlint:guardedby <mutex>  — struct field annotation: the named mutex

@@ -38,7 +38,9 @@ var everywhere = scope{}
 //     summaries) map order feeds humans, not routes.
 //   - ctxpoll guards the negotiation/search hot path — the only loops that
 //     run long enough for a deadline to matter.
-//   - atomicwrite guards the packages that persist snapshots/checkpoints.
+//   - atomicwrite guards the packages that persist snapshots, checkpoints
+//     and the ECO journal (whose fsync-before-ack discipline it also
+//     checks).
 //   - lockcontract and recoverguard run everywhere: guardedby annotations
 //     and blessed-guard annotations scope them per-site.
 var scopes = map[string]scope{
@@ -50,7 +52,7 @@ var scopes = map[string]scope{
 		paths: []string{"internal/search", "internal/congest", "internal/router"},
 	},
 	"atomicwrite": {
-		paths: []string{"", "internal/serve", "internal/snapshot"},
+		paths: []string{"", "internal/serve", "internal/snapshot", "internal/journal"},
 	},
 	"lockcontract": everywhere,
 	"recoverguard": everywhere,

@@ -40,14 +40,19 @@ func openReadOnly(path string) ([]byte, error) {
 	return buf[:n], err
 }
 
-// atomicShape is negative: CreateTemp + Rename is the atomicWrite pattern
-// itself and must stay expressible.
+// atomicShape is negative: CreateTemp + Sync + Rename is the atomicWrite
+// pattern itself and must stay expressible.
 func atomicShape(path string, data []byte) error {
 	f, err := os.CreateTemp(".", "atomic-*")
 	if err != nil {
 		return err
 	}
 	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	if err := f.Sync(); err != nil {
 		f.Close()
 		os.Remove(f.Name())
 		return err
@@ -63,4 +68,37 @@ func atomicShape(path string, data []byte) error {
 func annotated(path string) error {
 	//grlint:rawwrite debug dump, never read back by the engine
 	return os.WriteFile(path, nil, 0o644)
+}
+
+// writeNoSync is the fsync-before-ack positive: the record is written and
+// the function returns — acknowledging durability — with the bytes still
+// in the page cache.
+func writeNoSync(f *os.File, rec []byte) error {
+	_, err := f.Write(rec) // want `os.File write with no File.Sync before return`
+	return err
+}
+
+// writeThenSync is negative: the write is fsynced before the function
+// returns, so an acknowledgement means the record survives a crash.
+func writeThenSync(f *os.File, rec []byte) error {
+	if _, err := f.Write(rec); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// nosyncAnnotated is the blessed exception: durability is explicitly the
+// caller's job and the site says why.
+func nosyncAnnotated(f *os.File, rec []byte) error {
+	//grlint:nosync caller batches records and syncs once per group commit
+	_, err := f.Write(rec)
+	return err
+}
+
+// nosyncBare shows the grammar teeth: a directive with no reason is its
+// own finding and silences nothing.
+func nosyncBare(f *os.File, rec []byte) error {
+	//grlint:nosync
+	_, err := f.Write(rec) // want `grlint:nosync directive needs a reason` `os.File write with no File.Sync before return`
+	return err
 }

@@ -39,6 +39,25 @@ const (
 	// the destination path). An injected fault must leave no temp file
 	// behind and keep any previous file intact.
 	SnapshotWrite
+	// JournalAppend fires before an ECO journal record's bytes are written
+	// to the log (the label is the journal path). A fault here must leave
+	// the committing engine untouched and the on-disk journal usable — at
+	// worst with a torn tail that replay truncates.
+	JournalAppend
+	// JournalSync fires between a journal append's write and its fsync —
+	// the bytes may be in the page cache but are not yet durable, so a
+	// fault (crash) here may lose exactly the unacknowledged record.
+	JournalSync
+	// JournalRename fires immediately before a journal compaction renames
+	// the freshly written compact file over the live journal. A fault must
+	// leave the previous journal intact.
+	JournalRename
+	// JournalApply fires before each journal record is re-applied during
+	// replay recovery (the label is the journal path).
+	JournalApply
+	// JournalCompact fires at the start of a journal compaction, before
+	// the compact temp file is created.
+	JournalCompact
 )
 
 // String names the point for injected-error messages.
@@ -54,6 +73,16 @@ func (p Point) String() string {
 		return "commit"
 	case SnapshotWrite:
 		return "snapshotwrite"
+	case JournalAppend:
+		return "journalappend"
+	case JournalSync:
+		return "journalsync"
+	case JournalRename:
+		return "journalrename"
+	case JournalApply:
+		return "journalapply"
+	case JournalCompact:
+		return "journalcompact"
 	}
 	return fmt.Sprintf("point(%d)", uint8(p))
 }

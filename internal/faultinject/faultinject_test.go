@@ -74,11 +74,17 @@ func TestRestoreDisarms(t *testing.T) {
 
 func TestPointString(t *testing.T) {
 	for p, want := range map[Point]string{
-		Search:   "search",
-		RouteNet: "routenet",
-		Reroute:  "reroute",
-		Commit:   "commit",
-		Point(9): "point(9)",
+		Search:         "search",
+		RouteNet:       "routenet",
+		Reroute:        "reroute",
+		Commit:         "commit",
+		SnapshotWrite:  "snapshotwrite",
+		JournalAppend:  "journalappend",
+		JournalSync:    "journalsync",
+		JournalRename:  "journalrename",
+		JournalApply:   "journalapply",
+		JournalCompact: "journalcompact",
+		Point(99):      "point(99)",
 	} {
 		if got := p.String(); got != want {
 			t.Errorf("Point(%d).String() = %q, want %q", uint8(p), got, want)

@@ -43,6 +43,27 @@ type sessionResponse struct {
 	Routed    bool    `json:"routed"`
 	Overflow  int     `json:"overflow"`
 	PrepareMS float64 `json:"prepare_ms"`
+	// Journaled reports an attached ECO write-ahead journal (the session
+	// has committed at least one edit with persistence enabled). The
+	// counters describe its durability state: JournalRecords and
+	// JournalBytes are the edit records and file bytes accumulated since
+	// the last compaction fold, and JournalFsyncErr is the most recent
+	// append/fsync failure ("" while healthy).
+	Journaled       bool   `json:"journaled,omitempty"`
+	JournalRecords  int    `json:"journal_records,omitempty"`
+	JournalBytes    int64  `json:"journal_bytes,omitempty"`
+	JournalFsyncErr string `json:"journal_fsync_err,omitempty"`
+}
+
+// wiresResponse answers GET /v1/sessions/{hash}/wires: the installed
+// per-net wiring of the session — the service-boundary ground truth a
+// crash-recovery check compares byte-for-byte across a restart.
+type wiresResponse struct {
+	Hash        string         `json:"hash"`
+	Routed      bool           `json:"routed"`
+	Overflow    int            `json:"overflow"`
+	TotalLength int64          `json:"total_length"`
+	Wires       []netWiresJSON `json:"wires"`
 }
 
 type routeRequest struct {

@@ -51,21 +51,36 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, readyzResponse{Status: "ready", Sessions: n})
 }
 
+// sessionJSON assembles the wire form of a resident session, including
+// the ECO journal's durability counters when one is attached — the
+// operator's view of how much unfolded replay a crash would cost and
+// whether the last fsync succeeded.
+func sessionJSON(sess *session) sessionResponse {
+	l := sess.e.Layout()
+	sr := sessionResponse{
+		Hash:      sess.key(),
+		Name:      l.Name,
+		Cells:     len(l.Cells),
+		Nets:      len(l.Nets),
+		Warm:      sess.warm,
+		Routed:    sess.e.Routed(),
+		Overflow:  sess.e.Overflow(),
+		PrepareMS: float64(sess.prep) / float64(time.Millisecond),
+	}
+	if st, ok := sess.e.JournalStats(); ok {
+		sr.Journaled = true
+		sr.JournalRecords = st.Records
+		sr.JournalBytes = st.Bytes
+		sr.JournalFsyncErr = st.LastErr
+	}
+	return sr
+}
+
 func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
 	sessions := s.sessions.snapshotList()
 	out := make([]sessionResponse, 0, len(sessions))
 	for _, sess := range sessions {
-		l := sess.e.Layout()
-		out = append(out, sessionResponse{
-			Hash:      sess.key(),
-			Name:      l.Name,
-			Cells:     len(l.Cells),
-			Nets:      len(l.Nets),
-			Warm:      sess.warm,
-			Routed:    sess.e.Routed(),
-			Overflow:  sess.e.Overflow(),
-			PrepareMS: float64(sess.prep) / float64(time.Millisecond),
-		})
+		out = append(out, sessionJSON(sess))
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -98,17 +113,9 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	if created {
 		status = http.StatusCreated
 	}
-	writeJSON(w, status, sessionResponse{
-		Hash:      sess.key(),
-		Name:      l.Name,
-		Cells:     len(l.Cells),
-		Nets:      len(l.Nets),
-		Created:   created,
-		Warm:      sess.warm,
-		Routed:    sess.e.Routed(),
-		Overflow:  sess.e.Overflow(),
-		PrepareMS: float64(sess.prep) / float64(time.Millisecond),
-	})
+	sr := sessionJSON(sess)
+	sr.Created = created
+	writeJSON(w, status, sr)
 }
 
 // optionsFromQuery maps ?pitch/?weight/?passes to engine options.
@@ -296,9 +303,11 @@ func (s *Server) runNegotiation(ctx context.Context, sess *session) (*genroute.N
 }
 
 // handleECO applies a staged edit transaction to the session and repairs
-// the routing incrementally. A successful commit changes the layout, so
-// the session's warm-start snapshot (keyed by the creation layout's
-// fingerprint) is retired rather than rewritten.
+// the routing incrementally. With persistence enabled the session carries
+// a write-ahead journal: Commit appends the edit set — fsynced — before
+// installing, so by the time the 200 is written the edit survives kill -9
+// and a restart replays it (the journal rung of the warm-start ladder).
+// The snapshot on disk stays untouched as the pre-edit recovery base.
 func (s *Server) handleECO(w http.ResponseWriter, r *http.Request) {
 	sess := s.lookupSession(w, r)
 	if sess == nil {
@@ -353,7 +362,9 @@ func (s *Server) handleECO(w http.ResponseWriter, r *http.Request) {
 	}
 	sess.mutated = true
 	if s.cfg.SnapshotDir != "" {
-		s.sessions.saveSnapshot(sess) // retires the now-stale snapshot
+		// Durability already happened inside Commit (the journal append is
+		// fsynced before the install); all that is left is retiring any
+		// negotiation checkpoint, which belongs to the pre-edit problem.
 		os.Remove(s.sessions.ckptPath(sess.hash))
 	}
 	writeJSON(w, http.StatusOK, ecoResponse{
@@ -363,4 +374,26 @@ func (s *Server) handleECO(w http.ResponseWriter, r *http.Request) {
 		Partial:   partial,
 		ElapsedMS: float64(eco.Elapsed) / float64(time.Millisecond),
 	})
+}
+
+// handleWires reports the installed per-net wiring of a session. This is
+// the service-boundary ground truth: the crash-recovery smoke check
+// compares these bytes across a kill -9 and restart, and equality here is
+// what "recovered" means to a client.
+func (s *Server) handleWires(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookupSession(w, r)
+	if sess == nil {
+		return
+	}
+	resp := wiresResponse{
+		Hash:     sess.key(),
+		Routed:   sess.e.Routed(),
+		Overflow: sess.e.Overflow(),
+		Wires:    []netWiresJSON{},
+	}
+	if res := sess.e.Result(); res != nil {
+		resp.TotalLength = int64(res.TotalLength)
+		resp.Wires = wiresJSON(res.Nets)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

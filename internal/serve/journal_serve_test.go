@@ -1,0 +1,217 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro"
+)
+
+// getBody fetches url and returns the raw response bytes — the form the
+// crash-recovery checks compare, since "recovered" is defined at the JSON
+// boundary.
+func getBody(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d (%s)", url, resp.StatusCode, b)
+	}
+	return b
+}
+
+// negotiateOK runs the full negotiation on a session (ECO requires a
+// routed session).
+func negotiateOK(t *testing.T, ts *httptest.Server, hash string) {
+	t.Helper()
+	var nr negotiateResponse
+	if code, _ := postJSON(t, ts.URL+"/v1/sessions/"+hash+"/negotiate", negotiateRequest{}, &nr); code != http.StatusOK || !nr.Converged {
+		t.Fatalf("negotiate = %d %+v", code, nr)
+	}
+}
+
+func ecoPost(t *testing.T, ts *httptest.Server, hash string, ops []ecoOp) ecoResponse {
+	t.Helper()
+	var er ecoResponse
+	code, _ := postJSON(t, ts.URL+"/v1/sessions/"+hash+"/eco", ecoRequest{Ops: ops}, &er)
+	if code != http.StatusOK {
+		t.Fatalf("eco = %d %+v", code, er)
+	}
+	return er
+}
+
+// addNetOp builds an add_net ECO op for an east–west net at y, in the
+// funnel fixture's idiom.
+func addNetOp(t *testing.T, name string, y int64) ecoOp {
+	t.Helper()
+	n := genroute.Net{
+		Name: name,
+		Terminals: []genroute.Terminal{
+			{Name: "w", Pins: []genroute.Pin{{Name: "p", Pos: genroute.Pt(10, y), Cell: genroute.NoCell}}},
+			{Name: "e", Pins: []genroute.Pin{{Name: "p", Pos: genroute.Pt(390, y), Cell: genroute.NoCell}}},
+		},
+	}
+	raw, err := json.Marshal(&n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ecoOp{Op: "add_net", Net: raw}
+}
+
+// TestECOJournalCrashRecovery is the daemon-level replay-equals-live
+// property: commit ECOs, drop the server without any drain (the moral
+// equivalent of kill -9 — per-record fsync is the only durability), and
+// require a fresh server on the same snapshot dir to recover the session
+// from its journal with byte-identical wires at the JSON boundary.
+func TestECOJournalCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	l := funnel(8)
+
+	_, ts := newTestServer(t, Config{SnapshotDir: dir, Workers: 1})
+	sr := createSession(t, ts, l, "pitch=2&weight=40")
+	var nr negotiateResponse
+	if code, _ := postJSON(t, ts.URL+"/v1/sessions/"+sr.Hash+"/negotiate", negotiateRequest{}, &nr); code != http.StatusOK || !nr.Converged {
+		t.Fatalf("negotiate = %d %+v", code, nr)
+	}
+	ecoPost(t, ts, sr.Hash, []ecoOp{{Op: "remove_net", Name: "n07"}})
+	ecoPost(t, ts, sr.Hash, []ecoOp{addNetOp(t, "eco0", 20)})
+
+	var list []sessionResponse
+	if code := getJSON(t, ts.URL+"/v1/sessions", &list); code != http.StatusOK || len(list) != 1 {
+		t.Fatalf("session list = %d %+v", code, list)
+	}
+	if !list[0].Journaled || list[0].JournalRecords != 2 || list[0].JournalBytes <= 0 || list[0].JournalFsyncErr != "" {
+		t.Fatalf("journal state in listing = %+v, want 2 healthy records", list[0])
+	}
+	wires := getBody(t, ts.URL+"/v1/sessions/"+sr.Hash+"/wires")
+	ts.Close() // abrupt: no drain, no persistAll — the journal is all there is
+
+	if _, err := os.Stat(filepath.Join(dir, sr.Hash+".jrnl")); err != nil {
+		t.Fatalf("eco left no journal: %v", err)
+	}
+
+	_, ts2 := newTestServer(t, Config{SnapshotDir: dir, Workers: 1})
+	back := createSession(t, ts2, l, "pitch=2&weight=40")
+	if !back.Created || !back.Warm || back.Hash != sr.Hash {
+		t.Fatalf("recovery create = %+v, want warm journal recovery of %s", back, sr.Hash)
+	}
+	if !back.Journaled || back.JournalRecords != 2 {
+		t.Fatalf("recovered session journal state = %+v, want the 2 replayed records attached", back)
+	}
+	recovered := getBody(t, ts2.URL+"/v1/sessions/"+sr.Hash+"/wires")
+	if !bytes.Equal(wires, recovered) {
+		t.Fatalf("recovered wires diverge from pre-crash wires:\n pre: %s\npost: %s", wires, recovered)
+	}
+	// The recovered session keeps journaling: a further edit lands as
+	// record 3 and survives the next restart the same way.
+	ecoPost(t, ts2, sr.Hash, []ecoOp{{Op: "remove_net", Name: "n00"}})
+	if code := getJSON(t, ts2.URL+"/v1/sessions", &list); code != http.StatusOK || list[0].JournalRecords != 3 {
+		t.Fatalf("post-recovery eco journal state = %+v, want 3 records", list)
+	}
+}
+
+// TestCorruptJournalFailOpen: a bit-flipped journal is quarantined (with a
+// timestamped name) and the ladder falls through to the snapshot rung —
+// the session comes back at its pre-edit base instead of failing to serve.
+func TestCorruptJournalFailOpen(t *testing.T) {
+	dir := t.TempDir()
+	l := funnel(8)
+
+	_, ts := newTestServer(t, Config{SnapshotDir: dir, Workers: 1})
+	sr := createSession(t, ts, l, "pitch=2")
+	negotiateOK(t, ts, sr.Hash)
+	ecoPost(t, ts, sr.Hash, []ecoOp{{Op: "remove_net", Name: "n07"}})
+	ts.Close()
+
+	jrnl := filepath.Join(dir, sr.Hash+".jrnl")
+	data, err := os.ReadFile(jrnl)
+	if err != nil {
+		t.Fatalf("eco left no journal: %v", err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(jrnl, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts2 := newTestServer(t, Config{SnapshotDir: dir, Workers: 1})
+	got := createSession(t, ts2, l, "pitch=2")
+	if !got.Created || !got.Warm || got.Journaled {
+		t.Fatalf("create over corrupt journal = %+v, want a snapshot warm start without the journal", got)
+	}
+	if len(quarantined(t, jrnl)) != 1 {
+		t.Fatal("corrupt journal not quarantined")
+	}
+	if _, err := os.Stat(jrnl); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("corrupt journal still in place: %v", err)
+	}
+	mustRouteOK(t, ts2, got.Hash, "n01")
+}
+
+// TestQuarantineCapBoundsLitter: repeated quarantines of one path keep
+// only the newest quarantineKeep .bad files — evidence retained, litter
+// bounded.
+func TestQuarantineCapBoundsLitter(t *testing.T) {
+	dir := t.TempDir()
+	c := newSessionCache(1, dir, 1, nil, func(string, ...any) {})
+	path := filepath.Join(dir, "victim.snap")
+	for i := 0; i < 3*quarantineKeep; i++ {
+		if err := os.WriteFile(path, []byte{byte(i)}, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		c.quarantine(path, genroute.ErrSnapshotChecksum)
+	}
+	bad := quarantined(t, path)
+	if len(bad) != quarantineKeep {
+		t.Fatalf("%d quarantine files retained, want %d: %v", len(bad), quarantineKeep, bad)
+	}
+	// The survivors are the newest ones: their payload bytes are the last
+	// quarantineKeep counters written above.
+	for i, name := range bad {
+		b, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := byte(3*quarantineKeep - quarantineKeep + i); len(b) != 1 || b[0] != want {
+			t.Fatalf("retained %s holds %v, want [%d] (newest files keep, oldest delete)", name, b, want)
+		}
+	}
+}
+
+// TestEvictionFlushesJournal: LRU eviction closes the evicted session's
+// journal, and the session recovers from it — edits included — when its
+// layout is re-POSTed.
+func TestEvictionFlushesJournal(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Config{SnapshotDir: dir, MaxSessions: 1, Workers: 1})
+	a, b := funnel(8), funnel(6)
+	b.Name = "funnel-b"
+
+	sa := createSession(t, ts, a, "pitch=2")
+	negotiateOK(t, ts, sa.Hash)
+	ecoPost(t, ts, sa.Hash, []ecoOp{{Op: "remove_net", Name: "n07"}})
+	wires := getBody(t, ts.URL+"/v1/sessions/"+sa.Hash+"/wires")
+
+	createSession(t, ts, b, "pitch=2") // evicts a, closing its journal
+	back := createSession(t, ts, a, "pitch=2")
+	if !back.Created || !back.Warm || !back.Journaled || back.JournalRecords != 1 {
+		t.Fatalf("re-admission = %+v, want a journal recovery carrying the edit record", back)
+	}
+	recovered := getBody(t, ts.URL+"/v1/sessions/"+sa.Hash+"/wires")
+	if !bytes.Equal(wires, recovered) {
+		t.Fatalf("re-admitted wires diverge:\n pre: %s\npost: %s", wires, recovered)
+	}
+}

@@ -215,14 +215,16 @@ func TestCorruptSnapshotFailOpen(t *testing.T) {
 		if err := os.WriteFile(snap, corrupt, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		os.Remove(snap + ".bad")
+		for _, bad := range quarantined(t, snap) {
+			os.Remove(bad)
+		}
 		_, ts2 := newTestServer(t, Config{SnapshotDir: dir, Workers: 1})
 		got := createSession(t, ts2, l, "pitch=2")
 		if got.Warm || !got.Created {
 			t.Fatalf("%s: create over corrupt snapshot = %+v, want cold fail-open build", name, got)
 		}
-		if _, err := os.Stat(snap + ".bad"); err != nil {
-			t.Fatalf("%s: corrupt snapshot not quarantined: %v", name, err)
+		if len(quarantined(t, snap)) != 1 {
+			t.Fatalf("%s: corrupt snapshot not quarantined", name)
 		}
 		var rr routeResponse
 		code, _ := postJSON(t, ts2.URL+"/v1/sessions/"+got.Hash+"/route", routeRequest{Net: "n01"}, &rr)
@@ -322,6 +324,16 @@ func TestLRUEvictionAndWarmReadmission(t *testing.T) {
 		t.Fatalf("re-admission = %+v, want a warm re-prepare from the snapshot", back)
 	}
 	mustRouteOK(t, ts, back.Hash, "n01")
+}
+
+// quarantined lists the timestamped .bad files quarantine left for path.
+func quarantined(t *testing.T, path string) []string {
+	t.Helper()
+	bad, err := filepath.Glob(path + ".*.bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bad
 }
 
 func mustRouteOK(t *testing.T, ts *httptest.Server, hash, net string) {

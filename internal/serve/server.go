@@ -127,6 +127,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /v1/sessions", s.handleListSessions)
+	mux.HandleFunc("GET /v1/sessions/{hash}/wires", s.handleWires)
 	mux.HandleFunc("POST /v1/sessions", s.admit("prepare", s.handleCreateSession))
 	mux.HandleFunc("POST /v1/sessions/{hash}/route", s.admit("route", s.handleRoute))
 	mux.HandleFunc("POST /v1/sessions/{hash}/negotiate", s.admit("negotiate", s.handleNegotiate))

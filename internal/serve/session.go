@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -78,6 +79,10 @@ func (c *sessionCache) ckptPath(hash uint64) string {
 	return filepath.Join(c.dir, fmt.Sprintf("%016x.ckpt", hash))
 }
 
+func (c *sessionCache) jrnlPath(hash uint64) string {
+	return filepath.Join(c.dir, fmt.Sprintf("%016x.jrnl", hash))
+}
+
 // lookup returns the resident session for hash (touching its LRU slot),
 // or nil.
 func (c *sessionCache) lookup(hash uint64) *session {
@@ -128,16 +133,24 @@ func (c *sessionCache) getOrCreate(done <-chan struct{}, l *genroute.Layout, has
 }
 
 // build prepares an engine for the layout, walking the warm-start ladder:
-// an on-disk snapshot is tried first, any typed ErrSnapshot* failure
-// (corrupt, truncated, version-skewed, wrong layout) quarantines the file
-// and falls through to a cold NewEngine — fail-open, never fail-crash.
+// the ECO journal is tried first (it alone holds acknowledged edits), then
+// the on-disk snapshot; any typed ErrSnapshot* failure (corrupt,
+// truncated, version-skewed, wrong layout) quarantines the file and falls
+// through to the next rung, ending at a cold NewEngine — fail-open, never
+// fail-crash.
 func (c *sessionCache) build(l *genroute.Layout, hash uint64, opts []genroute.Option) (*session, error) {
 	opts = append(append([]genroute.Option(nil), c.baseOpts...), opts...)
 	if c.dir != "" {
-		opts = append(opts, genroute.WithCheckpointFile(c.ckptPath(hash), c.every))
+		opts = append(opts,
+			genroute.WithCheckpointFile(c.ckptPath(hash), c.every),
+			genroute.WithJournalFile(c.jrnlPath(hash)))
 	}
 	start := time.Now()
 	if c.dir != "" {
+		if sess := c.replayJournal(hash, opts, start); sess != nil {
+			return sess, nil
+		}
+		start = time.Now()
 		path := c.snapPath(hash)
 		if _, err := os.Stat(path); err == nil {
 			e, lerr := genroute.LoadEngineFile(path, l, opts...)
@@ -166,6 +179,44 @@ func (c *sessionCache) build(l *genroute.Layout, hash uint64, opts []genroute.Op
 	return sess, nil
 }
 
+// replayJournal is the warm-start ladder's top rung: when the session has
+// an ECO journal, recovery must come from it — the journal alone holds
+// every acknowledged edit, which the base snapshot (by design) does not.
+// The journal's header names the creation-layout fingerprint the file is
+// keyed by, so identity is proven before paying the replay cost. A journal
+// that cannot be used (corrupt, torn base, version-skewed, wrong layout)
+// is quarantined and the ladder falls through to the snapshot rung.
+func (c *sessionCache) replayJournal(hash uint64, opts []genroute.Option, start time.Time) *session {
+	path := c.jrnlPath(hash)
+	if _, err := os.Stat(path); err != nil {
+		return nil
+	}
+	jh, _, err := genroute.JournalHeader(path)
+	if err == nil && jh != hash {
+		err = fmt.Errorf("%w: journal was created over layout %016x, session is %016x",
+			genroute.ErrSnapshotLayout, jh, hash)
+	}
+	var e *genroute.Engine
+	if err == nil {
+		e, err = genroute.LoadEngineJournal(path, opts...)
+	}
+	if err != nil {
+		if isSnapshotErr(err) {
+			c.quarantine(path, err)
+		} else {
+			c.logf("serve: journal replay %s failed: %v (falling back)", path, err)
+		}
+		return nil
+	}
+	st, _ := e.JournalStats()
+	c.logf("serve: session %016x recovered from journal %s (%d unfolded record(s)) in %s",
+		hash, path, st.Records, time.Since(start).Round(time.Millisecond))
+	// The recovered layout reflects the journaled edits, so it no longer
+	// fingerprints to the session's hash key: mark mutated, exactly as the
+	// live session the journal recorded was.
+	return &session{hash: hash, e: e, warm: true, mutated: true, prep: time.Since(start)}
+}
+
 // isSnapshotErr reports a typed persistence failure — the fail-open class:
 // the file is provably unusable, so quarantining it loses nothing.
 func isSnapshotErr(err error) bool {
@@ -176,22 +227,58 @@ func isSnapshotErr(err error) bool {
 		errors.Is(err, genroute.ErrSnapshotLayout)
 }
 
-// quarantine moves a provably bad snapshot or checkpoint aside (to
-// path.bad) so it is never retried, keeping it for post-mortem instead of
-// deleting the evidence.
+// quarantineKeep bounds the retained quarantine files per source path: the
+// newest quarantineKeep stay for post-mortem, older ones are deleted, so
+// repeated corruption of one session's files cannot litter the snapshot
+// directory unboundedly.
+const quarantineKeep = 3
+
+// snapshotErrName names the typed persistence-failure class for operators
+// reading quarantine logs.
+func snapshotErrName(err error) string {
+	switch {
+	case errors.Is(err, genroute.ErrSnapshotFormat):
+		return "format"
+	case errors.Is(err, genroute.ErrSnapshotVersion):
+		return "version"
+	case errors.Is(err, genroute.ErrSnapshotChecksum):
+		return "checksum"
+	case errors.Is(err, genroute.ErrSnapshotCorrupt):
+		return "corrupt"
+	case errors.Is(err, genroute.ErrSnapshotLayout):
+		return "layout"
+	}
+	return "untyped"
+}
+
+// quarantine moves a provably bad snapshot, checkpoint or journal aside —
+// to path.<UTC timestamp>.bad, so successive quarantines of one path never
+// overwrite each other's evidence — and prunes all but the newest
+// quarantineKeep copies. The log line carries the typed failure class
+// (checksum, version, layout, ...) so the cause is diagnosable without the
+// file.
 func (c *sessionCache) quarantine(path string, cause error) {
-	bad := path + ".bad"
+	bad := fmt.Sprintf("%s.%s.bad", path, time.Now().UTC().Format("20060102T150405.000000000"))
 	if err := os.Rename(path, bad); err != nil {
 		c.logf("serve: quarantine %s: rename failed (%v); removing", path, err)
 		os.Remove(path)
 		return
 	}
-	c.logf("serve: quarantined %s -> %s: %v", path, bad, cause)
+	c.logf("serve: quarantined %s -> %s (%s error): %v", path, bad, snapshotErrName(cause), cause)
+	if prior, err := filepath.Glob(path + ".*.bad"); err == nil && len(prior) > quarantineKeep {
+		sort.Strings(prior) // timestamped names sort oldest first
+		for _, old := range prior[:len(prior)-quarantineKeep] {
+			os.Remove(old)
+		}
+	}
 }
 
 // install adds a built session and evicts past the LRU bound. Eviction
-// drops memory only: the snapshot written at build/negotiate/eco time is
-// the session's durable form, so a re-request warm-starts.
+// drops memory only: the snapshot written at build/negotiate time and the
+// ECO journal are the session's durable forms, so a re-request
+// warm-starts. The evicted session's journal is flushed and its
+// descriptor released first (the engine reopens it on demand if the
+// session is somehow still referenced).
 func (c *sessionCache) install(s *session) {
 	s.el = c.lru.PushFront(s)
 	c.byHash[s.hash] = s
@@ -200,6 +287,9 @@ func (c *sessionCache) install(s *session) {
 		ev := back.Value.(*session)
 		c.lru.Remove(back)
 		delete(c.byHash, ev.hash)
+		if err := ev.e.CloseJournal(); err != nil {
+			c.logf("serve: evicting session %016x: journal close: %v", ev.hash, err)
+		}
 		c.logf("serve: evicted session %016x (LRU bound %d)", ev.hash, c.max)
 	}
 }
@@ -219,26 +309,27 @@ func (c *sessionCache) snapshotList() []*session {
 
 // saveSnapshot persists one session's current state for warm restarts.
 // Persistence is best-effort by design — a failed save costs a future cold
-// build, never the request. An ECO-mutated session instead removes its
-// stale snapshot (the layout no longer matches the session's hash key).
+// build, never the request. An ECO-mutated session skips the write: its
+// layout no longer fingerprints to the hash key, and its durable form is
+// the journal (whose embedded base already captured the pre-edit state),
+// so overwriting the snapshot would corrupt nothing but record a state the
+// key cannot prove.
 func (c *sessionCache) saveSnapshot(s *session) {
-	if c.dir == "" {
+	if c.dir == "" || s.mutated {
 		return
 	}
-	path := c.snapPath(s.hash)
-	if s.mutated {
-		os.Remove(path)
-		return
-	}
-	if err := s.e.SaveFile(path); err != nil {
+	if err := s.e.SaveFile(c.snapPath(s.hash)); err != nil {
 		c.logf("serve: persisting session %016x: %v", s.hash, err)
 	}
 }
 
-// persistAll saves every resident session (called after drain, when the
-// engines are idle).
+// persistAll saves every resident session and flushes its journal (called
+// after drain, when the engines are idle).
 func (c *sessionCache) persistAll() {
 	for _, s := range c.snapshotList() {
 		c.saveSnapshot(s)
+		if err := s.e.CloseJournal(); err != nil {
+			c.logf("serve: drain: session %016x journal close: %v", s.hash, err)
+		}
 	}
 }
